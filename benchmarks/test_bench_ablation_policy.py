@@ -1,0 +1,64 @@
+"""A1 — selection-policy ablation: preferred-DC (new) vs. proportional (old).
+
+Adhikari et al. found the pre-Google YouTube directed requests to data
+centers proportionally to size, ignoring client location; the paper's core
+finding is that the new system is preferred-data-center driven.  This
+ablation runs the same EU1-ADSL workload under both policies and contrasts
+the observable signatures.
+"""
+
+import pytest
+
+from repro.core.preferred import analyze_preferred
+from repro.core.pipeline import StudyPipeline
+from repro.sim.driver import run_spec
+from repro.sim.scenarios import PAPER_SCENARIOS
+
+SCALE = 0.008
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def both_reports():
+    reports = {}
+    for kind in ("preferred", "proportional"):
+        result = run_spec(
+            PAPER_SCENARIOS["EU1-ADSL"], scale=SCALE, seed=SEED, policy_kind=kind
+        )
+        pipe = StudyPipeline({"EU1-ADSL": result}, landmark_count=80, seed=11)
+        reports[kind] = pipe.preferred_reports["EU1-ADSL"]
+    return reports
+
+
+def test_bench_ablation_policy(benchmark, both_reports, save_artifact):
+    def compute():
+        result = run_spec(
+            PAPER_SCENARIOS["EU1-ADSL"], scale=SCALE, seed=SEED,
+            policy_kind="proportional", use_cache=False,
+        )
+        return result
+
+    benchmark.pedantic(compute, rounds=2, iterations=1)
+
+    new = both_reports["preferred"]
+    old = both_reports["proportional"]
+
+    def weighted_rtt(report):
+        total = sum(v.num_bytes for v in report.views)
+        return sum(v.min_rtt_ms * v.num_bytes for v in report.views) / total
+
+    lines = [
+        f"new policy:  top-DC byte share={new.byte_share(new.preferred_id):.3f} "
+        f"byte-weighted RTT={weighted_rtt(new):.1f}ms #DCs={len(new.views)}",
+        f"old policy:  top-DC byte share={old.views[0].num_bytes / old.total_bytes:.3f} "
+        f"byte-weighted RTT={weighted_rtt(old):.1f}ms #DCs={len(old.views)}",
+    ]
+    save_artifact("ablation_policy", "\n".join(lines))
+
+    # The new policy concentrates traffic on one nearby data center...
+    assert new.byte_share(new.preferred_id) > 0.8
+    # ...the old policy spreads it across the world by size.
+    assert old.views[0].num_bytes / old.total_bytes < 0.5
+    assert len(old.views) > len(new.views)
+    # And users pay for it in RTT.
+    assert weighted_rtt(old) > 3.0 * weighted_rtt(new)

@@ -1,0 +1,26 @@
+"""Figure 3 — radius of the CBG confidence region for YouTube servers."""
+
+
+def test_bench_fig03(benchmark, results, pipe, save_artifact):
+    geolocator = pipe.geolocator  # calibration happens once, outside timing
+    server_map = pipe.server_map
+    # Re-geolocate a handful of known targets to time the solver itself.
+    some_net24s = sorted(server_map.results_by_slash24)[:5]
+    sample_ips = [net24 + 1 for net24 in some_net24s]
+    site_of_ip = pipe.site_of_ip
+
+    def compute():
+        return [geolocator.geolocate_target(site_of_ip(ip)) for ip in sample_ips]
+
+    benchmark(compute)
+
+    cdfs = pipe.fig3_cdfs
+    save_artifact(
+        "fig03_confidence_radius",
+        "\n".join(cdf.render(f"confidence km — {region}") for region, cdf in cdfs.items()),
+    )
+
+    # Paper: median 41 km for both US and Europe; p90 at 320/200 km.
+    for region, cdf in cdfs.items():
+        assert cdf.median < 120.0, region
+        assert cdf.quantile(0.9) < 400.0, region

@@ -1,0 +1,40 @@
+"""Figure 7 — cumulative fraction of bytes vs. RTT to the data center."""
+
+from repro.core.preferred import analyze_preferred
+
+
+def test_bench_fig07(benchmark, results, pipe, save_artifact):
+    name = "EU1-ADSL"
+    dataset = results[name].dataset
+    server_map = pipe.server_map
+    rtts = pipe.rtt_campaigns[name]
+    focus = pipe.focus_ips[name]
+
+    def compute():
+        return analyze_preferred(dataset, server_map, rtts, focus_ips=focus)
+
+    benchmark(compute)
+
+    lines = []
+    for ds_name in results:
+        report = pipe.preferred_reports[ds_name]
+        series = report.cumulative_by_rtt()
+        lines.append(series.render())
+        share = report.byte_share(report.preferred_id)
+        lines.append(
+            f"{ds_name}: preferred={report.preferred_id} "
+            f"share={share:.3f} minRTT={report.preferred.min_rtt_ms:.1f}ms"
+        )
+    save_artifact("fig07_bytes_vs_rtt", "\n".join(lines))
+
+    for ds_name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+        report = pipe.preferred_reports[ds_name]
+        assert report.byte_share(report.preferred_id) > 0.8, ds_name
+    eu2 = pipe.preferred_reports["EU2"]
+    shares = sorted((v.num_bytes / eu2.total_bytes for v in eu2.views), reverse=True)
+    assert shares[0] + shares[1] > 0.9  # two data centers provide > 95 %
+    # The preferred data center is the minimum-RTT major provider.
+    for ds_name in results:
+        report = pipe.preferred_reports[ds_name]
+        majors = [v for v in report.views if v.num_bytes / report.total_bytes > 0.05]
+        assert report.preferred.min_rtt_ms == min(v.min_rtt_ms for v in majors)

@@ -1,0 +1,19 @@
+"""Figure 8 — cumulative fraction of bytes vs. distance to the data center."""
+
+
+def test_bench_fig08(benchmark, results, pipe, save_artifact):
+    reports = pipe.preferred_reports
+
+    def compute():
+        return {name: reports[name].cumulative_by_distance() for name in reports}
+
+    curves = benchmark(compute)
+    lines = [series.render() for series in curves.values()]
+    for name in results:
+        lines.append(f"{name}: closest-5 byte share = {reports[name].closest_k_share(5):.4f}")
+    save_artifact("fig08_bytes_vs_distance", "\n".join(lines))
+
+    # US-Campus: geography is NOT the criterion (paper: closest 5 < 2 %).
+    assert reports["US-Campus"].closest_k_share(5) < 0.05
+    # EU1: the preferred data center is also physically close.
+    assert reports["EU1-ADSL"].closest_k_share(5) > 0.8

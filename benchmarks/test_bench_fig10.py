@@ -1,0 +1,61 @@
+"""Figure 10 — session breakdowns by preferred/non-preferred destinations."""
+
+from repro.core.nonpreferred import SessionPattern, one_flow_breakdown, two_flow_breakdown
+
+
+def test_bench_fig10a(benchmark, results, pipe, save_artifact):
+    name = "US-Campus"
+    sessions = pipe.sessions[name]
+    report = pipe.preferred_reports[name]
+
+    def compute():
+        return one_flow_breakdown(sessions, report, pipe.server_map)
+
+    benchmark(compute)
+
+    lines = []
+    for ds_name in results:
+        b = pipe.one_flow_breakdown(ds_name)
+        lines.append(
+            f"{ds_name:12s} 1-flow={b.one_flow_fraction:.3f} "
+            f"preferred={b.preferred_fraction:.3f} "
+            f"non-preferred={b.nonpreferred_fraction:.3f}"
+        )
+    save_artifact("fig10a_one_flow_sessions", "\n".join(lines))
+
+    for ds_name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+        b = pipe.one_flow_breakdown(ds_name)
+        assert b.preferred_fraction > 0.6, ds_name
+        assert b.nonpreferred_fraction < 0.15, ds_name
+    eu2 = pipe.one_flow_breakdown("EU2")
+    assert eu2.nonpreferred_fraction > 0.3  # DNS sends much of EU2 away
+
+
+def test_bench_fig10b(benchmark, results, pipe, save_artifact):
+    name = "EU1-ADSL"
+    sessions = pipe.sessions[name]
+    report = pipe.preferred_reports[name]
+
+    def compute():
+        return two_flow_breakdown(sessions, report, pipe.server_map)
+
+    benchmark(compute)
+
+    lines = []
+    for ds_name in results:
+        patterns = pipe.two_flow_breakdown(ds_name)
+        cells = " ".join(f"[{p.value}]={patterns[p]:.3f}" for p in SessionPattern)
+        lines.append(f"{ds_name:12s} {cells}")
+    save_artifact("fig10b_two_flow_sessions", "\n".join(lines))
+
+    for ds_name in ("EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+        patterns = pipe.two_flow_breakdown(ds_name)
+        assert (
+            patterns[SessionPattern.PREFERRED_NONPREFERRED]
+            > patterns[SessionPattern.NONPREFERRED_NONPREFERRED]
+        ), ds_name
+    eu2 = pipe.two_flow_breakdown("EU2")
+    assert (
+        eu2[SessionPattern.NONPREFERRED_NONPREFERRED]
+        > eu2[SessionPattern.PREFERRED_NONPREFERRED]
+    )

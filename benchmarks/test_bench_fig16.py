@@ -1,0 +1,40 @@
+"""Figure 16 — sessions at the hot video's server, by redirect pattern."""
+
+from repro.core.hotspots import hot_server_sessions
+
+
+def test_bench_fig16(benchmark, results, pipe, save_artifact):
+    name = "EU1-ADSL"
+    video_id = pipe.hot_videos(name, top_k=1)[0].video_id
+    sessions = pipe.sessions[name]
+    report = pipe.preferred_reports[name]
+    num_hours = results[name].dataset.num_hours
+
+    def compute():
+        return hot_server_sessions(sessions, video_id, report, pipe.server_map, num_hours)
+
+    hot = benchmark(compute)
+
+    text = "\n".join(
+        [
+            f"video={video_id} server_ip={hot.server_ip}",
+            hot.all_preferred.render(),
+            hot.first_preferred_rest_not.render(),
+            hot.others.render(),
+            f"total sessions at server: {hot.total_sessions()}",
+        ]
+    )
+    save_artifact("fig16_hot_server_sessions", text)
+
+    assert hot.total_sessions() > 50
+    redirected = sum(hot.first_preferred_rest_not.ys)
+    assert redirected > 0
+    # Redirections concentrate around the feature-day peak (weighted by
+    # session count).
+    peak_idx = hot.first_preferred_rest_not.ys.index(hot.first_preferred_rest_not.max_y())
+    peak_hour = hot.first_preferred_rest_not.xs[peak_idx]
+    within_day = sum(
+        y for x, y in zip(hot.first_preferred_rest_not.xs, hot.first_preferred_rest_not.ys)
+        if abs(x - peak_hour) <= 24
+    )
+    assert within_day / redirected > 0.6

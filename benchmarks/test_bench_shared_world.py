@@ -1,0 +1,44 @@
+"""Shared-world study: all five vantage points against one CDN.
+
+Not a paper artifact per se — it is the *actual* collection setup (five
+simultaneous monitors on one production CDN) — so this benchmark checks
+that the headline shapes survive the mode switch and times the merged run.
+"""
+
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+from repro.core.subnets import most_biased_subnet
+from repro.sim.multistudy import run_shared_study
+
+
+@pytest.fixture(scope="module")
+def shared_pipe():
+    results = run_shared_study(scale=0.02, seed=7)
+    return StudyPipeline(results, landmark_count=120, seed=11)
+
+
+def test_bench_shared_world(benchmark, shared_pipe, save_artifact):
+    def compute():
+        return run_shared_study(scale=0.004, seed=7)
+
+    benchmark.pedantic(compute, rounds=2, iterations=1)
+
+    lines = []
+    for name in shared_pipe.dataset_names:
+        report = shared_pipe.preferred_reports[name]
+        lines.append(
+            f"{name:12s} preferred={report.preferred_id:24s} "
+            f"share={report.byte_share(report.preferred_id):6.1%} "
+            f"non-preferred={shared_pipe.nonpreferred_fraction(name):6.1%}"
+        )
+    save_artifact("shared_world_study", "\n".join(lines))
+
+    for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+        report = shared_pipe.preferred_reports[name]
+        assert report.byte_share(report.preferred_id) > 0.8, name
+    assert shared_pipe.nonpreferred_fraction("EU2") > 0.5
+    assert most_biased_subnet(shared_pipe.subnet_shares("US-Campus")).subnet_name == "Net-3"
+    lb = shared_pipe.load_balance("EU2")
+    quiet, busy = lb.night_day_split()
+    assert quiet > busy + 0.25

@@ -1,0 +1,23 @@
+"""Table I — traffic summary for the datasets."""
+
+from repro.core.summary import render_table1, summarize
+
+
+def test_bench_table1(benchmark, results, pipe, save_artifact):
+    datasets = [r.dataset for r in results.values()]
+
+    def compute():
+        return [summarize(ds) for ds in datasets]
+
+    summaries = benchmark(compute)
+    text = render_table1(summaries)
+    save_artifact("table1", text)
+
+    by_name = {s.name: s for s in summaries}
+    assert set(by_name) == {"US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH", "EU2"}
+    # Relative magnitudes follow the paper's Table I.
+    assert by_name["US-Campus"].flows > 3 * by_name["EU1-FTTH"].flows
+    assert by_name["EU1-ADSL"].flows > 3 * by_name["EU1-Campus"].flows
+    assert by_name["US-Campus"].num_clients > by_name["EU1-FTTH"].num_clients
+    for summary in summaries:
+        assert summary.num_servers > 50

@@ -1,0 +1,24 @@
+"""Table II — percentage of servers and bytes received per AS."""
+
+from repro.core.asmap import breakdown_by_as, render_table2
+
+
+def test_bench_table2(benchmark, results, save_artifact):
+    pairs = [(r.dataset, r.world.registry) for r in results.values()]
+
+    def compute():
+        return [breakdown_by_as(ds, reg) for ds, reg in pairs]
+
+    breakdowns = benchmark(compute)
+    save_artifact("table2", render_table2(breakdowns))
+
+    by_name = {b.name: b for b in breakdowns}
+    # Google AS carries almost all bytes outside EU2.
+    for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+        assert by_name[name].byte_fractions["google"] > 0.95
+    # Legacy YouTube-EU: many distinct servers, few bytes.
+    for b in breakdowns:
+        srv, byt = b.share("youtube_eu")
+        assert srv > byt
+    # EU2: the in-ISP data center shows up in the Same-AS column.
+    assert 0.2 < by_name["EU2"].byte_fractions["same_as"] < 0.6

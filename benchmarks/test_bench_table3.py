@@ -1,0 +1,25 @@
+"""Table III — Google servers per continent on each dataset."""
+
+from repro.core.geography import continent_table, render_table3
+
+
+def test_bench_table3(benchmark, results, pipe, save_artifact):
+    server_map = pipe.server_map  # CBG clustering (timed separately in F3)
+    datasets = [r.dataset for r in results.values()]
+    focus = pipe.focus_ips
+
+    def compute():
+        return continent_table(datasets, server_map, focus)
+
+    rows = benchmark(compute)
+    save_artifact("table3", render_table3(rows))
+
+    by_name = {r.name: r for r in rows}
+    assert by_name["US-Campus"].counts["N. America"] > by_name["US-Campus"].counts["Europe"]
+    for name in ("EU1-Campus", "EU1-ADSL", "EU1-FTTH", "EU2"):
+        assert by_name[name].counts["Europe"] > by_name[name].counts["N. America"]
+    # Foreign-continent servers are a visible minority for the big traces.
+    for name in ("US-Campus", "EU1-ADSL"):
+        row = by_name[name]
+        home = "N. America" if name == "US-Campus" else "Europe"
+        assert (row.total - row.counts[home]) / row.total > 0.05

@@ -1,0 +1,46 @@
+"""Methodology validation + peering analysis benchmarks.
+
+Two artifacts beyond the paper's figures:
+
+* validation — the inference pipeline's measured accuracy against the
+  simulator's ground truth (possible only in a simulation-backed
+  reproduction);
+* peering — the capacity-planning numbers the paper's introduction says
+  this kind of study should enable.
+"""
+
+from repro.core.peering import analyze_peering
+from repro.core.validation import render_validation, validate_study
+
+
+def test_bench_validation(benchmark, results, pipe, save_artifact):
+    def compute():
+        return validate_study(pipe, results)
+
+    rows = benchmark(compute)
+    save_artifact("validation", render_validation(rows))
+
+    for name, row in rows.items():
+        assert row.preferred_matches, name
+        assert row.nonpreferred_error < 0.06, name
+
+
+def test_bench_peering(benchmark, results, save_artifact):
+    eu2 = results["EU2"]
+
+    def compute():
+        return analyze_peering(eu2.dataset, eu2.world.registry)
+
+    report = benchmark(compute)
+
+    lines = []
+    for name, result in results.items():
+        peering = analyze_peering(result.dataset, result.world.registry)
+        lines.append(peering.render())
+        lines.append(f"on-net share: {peering.on_net_fraction:.1%}")
+        lines.append("")
+    save_artifact("peering", "\n".join(lines))
+
+    # EU2's in-ISP data center keeps a large share off the peering edge.
+    assert 0.2 < report.on_net_fraction < 0.6
+    assert report.per_as[0].p95_mbps() > 0

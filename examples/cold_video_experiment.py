@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The PlanetLab cold-video experiment (Section VII-C, Figures 17-18).
+
+Uploads a fresh test video (it exists only at its origin data center),
+then downloads it from 45 nodes around the world every 30 minutes for 12
+hours, measuring the RTT to whichever server actually delivers it.  The
+first fetch comes from far away; the pull-through cache makes every later
+fetch local.
+
+Run:
+    python examples/cold_video_experiment.py
+"""
+
+from repro.active.testvideo import TestVideoExperiment
+from repro.sim.scenarios import PAPER_SCENARIOS, build_world
+
+
+def main() -> None:
+    print("Building the CDN world...")
+    world = build_world(PAPER_SCENARIOS["EU1-ADSL"], scale=0.002, seed=7)
+    experiment = TestVideoExperiment(world, num_nodes=45, seed=5)
+
+    preferred = {experiment.preferred_dc_of(n) for n in experiment.nodes}
+    print(f"45 PlanetLab nodes with {len(preferred)} distinct preferred "
+          "data centers")
+
+    print("Uploading the test video and probing every 30 min for 12 h...")
+    report = experiment.run()
+    print(f"test video {report.video_id} originated at: "
+          f"{', '.join(report.origin_dcs)}")
+
+    exemplar = report.most_improved()
+    print(f"\nFigure 17 — RTT samples from {exemplar.node.name}:")
+    row = " ".join(f"{r:6.1f}" for r in exemplar.rtts_ms[:12])
+    print(f"  first 12 samples (ms): {row}")
+    print(f"  first fetch served by {exemplar.serving_dcs[0]}, later "
+          f"fetches by {exemplar.serving_dcs[1]}")
+    print(f"  RTT1/RTT2 = {exemplar.first_to_second_ratio:.1f}")
+
+    cdf = report.ratio_cdf()
+    print("\nFigure 18 — CDF of RTT1/RTT2 over all 45 nodes:")
+    for threshold in (1.0, 1.2, 2.0, 5.0, 10.0, 50.0):
+        above = 1.0 - cdf.fraction_below(threshold)
+        print(f"  ratio > {threshold:5.1f}: {above:5.1%} of nodes")
+    print("\nPaper: > 40% of nodes improved (ratio > 1); ~20% improved "
+          "more than 10x.  Nodes with ratio ~= 1 shared a preferred data "
+          "center with an earlier fetcher, so their first fetch was "
+          "already local.")
+
+
+if __name__ == "__main__":
+    main()

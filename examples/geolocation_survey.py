@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Server geolocation survey: CBG vs. the failing baselines (Section V).
+
+Geolocates every content server seen in a simulated trace three ways:
+
+* the IP-to-location database (Maxmind-style) — claims everything is in
+  Mountain View;
+* reverse DNS — answers only for the legacy fleet;
+* CBG with 215 PlanetLab-style landmarks — the method the paper adopts.
+
+Then it clusters servers into data centers and prints Table III.
+
+Run:
+    python examples/geolocation_survey.py
+"""
+
+from repro.core.geography import render_table3
+from repro.core.pipeline import StudyPipeline
+from repro.geo.coords import haversine_km
+from repro.geoloc.geodb import build_reference_geodb
+from repro.geoloc.rdns import build_reverse_dns
+from repro.sim.driver import run_all
+
+
+def main() -> None:
+    print("Simulating the traces...")
+    results = run_all(scale=0.02, seed=7)
+    pipeline = StudyPipeline(results, landmark_count=None, seed=11)  # full 215
+
+    world = next(iter(results.values())).world
+    registry = world.registry
+    geodb = build_reference_geodb(registry)
+    legacy = [dc for dc in world.system.directory if dc.dc_id.startswith("legacy-")]
+    rdns = build_reverse_dns(legacy)
+
+    sample_ips = sorted({ip for ips in pipeline.focus_ips.values() for ip in ips})
+    print(f"\n{len(sample_ips)} distinct Google-side servers across all traces")
+
+    claimed = {geodb.lookup(ip).name for ip in sample_ips if geodb.lookup(ip)}
+    print(f"geo database verdict: all of them in {claimed} — "
+          "refuted by the sub-30 ms RTTs European vantage points measure")
+    ptr_hits = sum(1 for ip in sample_ips if rdns.lookup(ip) is not None)
+    print(f"reverse DNS: {ptr_hits}/{len(sample_ips)} PTR records "
+          "(the new infrastructure does not allow reverse lookup)")
+
+    print("\nCalibrating CBG (215 landmarks) and geolocating...")
+    server_map = pipeline.server_map
+    print(f"inferred {len(server_map.clusters)} data centers:")
+    for cluster in sorted(server_map.clusters, key=lambda c: -len(c))[:12]:
+        print(f"  {cluster.cluster_id:28s} {len(cluster):4d} servers  "
+              f"confidence ~{cluster.confidence_radius_km:4.0f} km")
+
+    cdfs = pipeline.fig3_cdfs
+    for region, cdf in cdfs.items():
+        print(f"\nFigure 3 ({region}): median confidence radius "
+              f"{cdf.median:.0f} km, p90 {cdf.quantile(0.9):.0f} km "
+              "(paper: median 41 km, p90 320/200 km)")
+
+    # Score CBG against the simulator's ground truth (possible only here!).
+    errors = []
+    for cluster in server_map.clusters:
+        site = None
+        for r in results.values():
+            site = r.world.site_of_server_ip(cluster.server_ips[0])
+            if site is not None:
+                break
+        if site is not None:
+            errors.append(haversine_km(cluster.estimate, site.point))
+    errors.sort()
+    print(f"\nCBG positional error vs. ground truth: median "
+          f"{errors[len(errors) // 2]:.0f} km over {len(errors)} data centers")
+
+    print("\n" + render_table3(pipeline.table3_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Shared-world study: five monitors, one CDN, one week.
+
+The paper's traces were collected *simultaneously* — five vantage points
+watching the same production system.  This example runs that setup: all
+five request streams interleave in global time order against one shared
+CDN, so the vantage points interact (shared caches, shared capacity),
+and then the standard pipeline analyses each monitor's trace.
+
+Run:
+    python examples/shared_world_study.py
+"""
+
+from repro.core.pipeline import StudyPipeline
+from repro.core.report import render_study_report
+from repro.sim.multistudy import build_shared_worlds, run_shared
+
+
+def main() -> None:
+    print("Building one shared CDN and five vantage points...")
+    worlds = build_shared_worlds(scale=0.02, seed=7)
+    system_ids = {id(w.system) for w in worlds.values()}
+    assert len(system_ids) == 1
+    print(f"  {len(worlds['EU2'].system.directory)} data centers, "
+          f"{len(worlds['EU2'].system.catalog)} videos in the shared catalog")
+
+    print("Interleaving the five request streams through one week...")
+    results = run_shared(worlds)
+    total = sum(r.requests for r in results.values())
+    print(f"  {total} requests processed in global time order")
+
+    print("\nCross-vantage interaction check: EU1's three PoPs share the "
+          "Milan data center, so one PoP's pull-throughs warm the cache "
+          "for the others (see tests/test_multistudy.py for the isolated "
+          "mechanism test).")
+
+    pipeline = StudyPipeline(results, landmark_count=120, seed=11)
+    print("\nHeadline results from the shared week:")
+    for name in pipeline.dataset_names:
+        report = pipeline.preferred_reports[name]
+        print(f"  {name:12s} preferred={report.preferred_id:24s} "
+              f"share={report.byte_share(report.preferred_id):6.1%} "
+              f"non-preferred={pipeline.nonpreferred_fraction(name):6.1%}")
+
+    print("\n(For the full report: "
+          "python -m repro study --shared --full)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Trace characterisation: the related-work lens (Section VIII).
+
+Before the paper dissects *server selection*, a generation of studies
+(Gill et al. IMC'07, Zink et al. 2009) characterised YouTube traffic itself:
+video popularity, flow sizes, heavy users, day/night rhythm.  This example
+runs those characterisations on a simulated trace — they double as sanity
+checks that the generated workload looks like a real edge trace — and puts
+bootstrap error bars on the headline fraction.
+
+Run:
+    python examples/trace_characterization.py
+"""
+
+from repro.core.characterize import (
+    characterize,
+    client_volume_cdf,
+    hourly_volume_series,
+    popularity_cdf,
+)
+from repro.core.confidence import fraction_interval
+from repro.core.flows import classify_flows
+from repro.core.nonpreferred import video_flow_preference
+from repro.core.pipeline import StudyPipeline
+from repro.sim.driver import run_all
+
+
+def main() -> None:
+    print("Simulating the five traces...")
+    results = run_all(scale=0.02, seed=7)
+
+    print("\nPer-trace characterisation:")
+    header = (f"{'dataset':12s} {'videos':>7s} {'once%':>6s} {'top1%-share':>11s} "
+              f"{'median-MB':>9s} {'peak/trough':>11s}")
+    print(header)
+    for name, result in results.items():
+        profile = characterize(result.dataset)
+        print(f"{name:12s} {profile.distinct_videos:7d} "
+              f"{profile.singleton_video_fraction:6.1%} "
+              f"{profile.top_percentile_share:11.1%} "
+              f"{profile.median_flow_bytes / 1e6:9.1f} "
+              f"{profile.peak_to_trough:11.1f}")
+
+    name = "EU1-ADSL"
+    dataset = results[name].dataset
+    print(f"\nDeep dive: {name}")
+    pop = popularity_cdf(dataset.records)
+    print(f"  per-video requests: median {pop.median:.0f}, "
+          f"p99 {pop.quantile(0.99):.0f}, max {pop.max:.0f}")
+    clients = client_volume_cdf(dataset.records)
+    print(f"  per-client volume: median {clients.median / 1e6:.0f} MB, "
+          f"p95 {clients.quantile(0.95) / 1e6:.0f} MB "
+          f"(the classic heavy-user skew)")
+    classes = classify_flows(dataset.records)
+    print(f"  control flows: {classes.control_fraction:.1%} of flows")
+    hourly = hourly_volume_series(dataset)
+    print(f"  busiest hour: {hourly.max_y():.0f} flows "
+          f"(hour {hourly.xs[hourly.ys.index(hourly.max_y())]:.0f})")
+
+    print("\nError bars on the headline fraction (bootstrap, 95%):")
+    pipeline = StudyPipeline(results, landmark_count=100, seed=11)
+    split = video_flow_preference(
+        pipeline.focus_records[name],
+        pipeline.preferred_reports[name],
+        pipeline.server_map,
+    )
+    flags = [False] * len(split[True]) + [True] * len(split[False])
+    interval = fraction_interval(flags, resamples=300, seed=5)
+    print(f"  non-preferred video-flow fraction at {name}: {interval}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate the entire reproduction from scratch.
+#
+# Usage:
+#   scripts/reproduce_all.sh [OUT_DIR]
+#
+# Produces, under OUT_DIR (default ./reproduction):
+#   test_output.txt      full test-suite log
+#   bench_output.txt     benchmark log (timings + shape assertions)
+#   artifacts/           regenerated tables/figures (text)
+#   figures/             gnuplot-ready .dat/.gp files for the CDF figures
+#   study_report.txt     the full study report (every table and figure)
+#   whatif.txt           the standard what-if comparison (EU1-ADSL)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-reproduction}"
+mkdir -p "$OUT_DIR"
+
+echo "== 1/5 test suite =="
+python -m pytest tests/ 2>&1 | tee "$OUT_DIR/test_output.txt" | tail -1
+
+echo "== 2/5 benchmarks (every table and figure) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT_DIR/bench_output.txt" | tail -1
+mkdir -p "$OUT_DIR/artifacts"
+cp benchmarks/out/*.txt "$OUT_DIR/artifacts/"
+
+echo "== 3/5 full study report =="
+python -m repro study --scale 0.02 --landmarks 215 --full > "$OUT_DIR/study_report.txt"
+tail -3 "$OUT_DIR/study_report.txt"
+
+echo "== 4/5 gnuplot figure export =="
+python -m repro figures --out-dir "$OUT_DIR/figures" --scale 0.02 --landmarks 120
+
+echo "== 5/5 what-if comparison =="
+python -m repro whatif --dataset EU1-ADSL --scale 0.01 > "$OUT_DIR/whatif.txt"
+head -4 "$OUT_DIR/whatif.txt"
+
+echo "done: $OUT_DIR"

@@ -1,0 +1,5 @@
+"""Setup shim for offline editable installs (`python setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

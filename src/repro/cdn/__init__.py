@@ -1,0 +1,47 @@
+"""The simulated YouTube CDN.
+
+Mechanism-for-mechanism model of the system the paper reverse-engineers:
+
+* a video catalog with Zipf popularity and "video of the day" features
+  (:mod:`repro.cdn.catalog`);
+* data centers hosting content servers in /24s of the Google AS
+  (:mod:`repro.cdn.datacenter`);
+* content placement — popular titles everywhere, cold titles at a single
+  origin until pulled through (:mod:`repro.cdn.store`);
+* DNS-level server selection policies, including the preferred-data-center
+  policy with load-aware spillover and per-resolver overrides, plus the old
+  size-proportional policy as a baseline (:mod:`repro.cdn.selection`);
+* application-layer redirection at the content servers
+  (:mod:`repro.cdn.redirection`);
+* the assembled system (:mod:`repro.cdn.cluster`).
+"""
+
+from repro.cdn.catalog import Resolution, Video, VideoCatalog, hostname_for_video, shard_of
+from repro.cdn.datacenter import ContentServer, DataCenter
+from repro.cdn.store import ContentPlacement
+from repro.cdn.selection import (
+    PreferredDcPolicy,
+    ProportionalPolicy,
+    SelectionPolicy,
+)
+from repro.cdn.redirection import RedirectionEngine, ServeDecision
+from repro.cdn.cluster import CdnSystem, FlowEvent, RequestOutcome
+
+__all__ = [
+    "Resolution",
+    "Video",
+    "VideoCatalog",
+    "hostname_for_video",
+    "shard_of",
+    "ContentServer",
+    "DataCenter",
+    "ContentPlacement",
+    "PreferredDcPolicy",
+    "ProportionalPolicy",
+    "SelectionPolicy",
+    "RedirectionEngine",
+    "ServeDecision",
+    "CdnSystem",
+    "FlowEvent",
+    "RequestOutcome",
+]

@@ -1,0 +1,177 @@
+"""Data centers and content servers.
+
+A data center is a city-anchored group of content servers whose addresses
+live in dedicated /24s — matching the paper's observation that servers in
+the same /24 always cluster into the same data center (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geo.cities import City
+from repro.net.ip import IPv4Network, Ipv4Allocator, format_ip
+from repro.net.latency import AccessTechnology, Site
+
+
+@dataclass(frozen=True)
+class ContentServer:
+    """One content server.
+
+    Attributes:
+        ip: Server address (integer IPv4).
+        dc_id: Identifier of the owning data center.
+        index: Server index inside its data center.
+    """
+
+    ip: int
+    dc_id: str
+    index: int
+
+    @property
+    def ip_str(self) -> str:
+        """Dotted-quad address."""
+        return format_ip(self.ip)
+
+
+@dataclass
+class DataCenter:
+    """A content data center.
+
+    Attributes:
+        dc_id: Stable identifier, e.g. ``"dc-amsterdam"``.
+        city: Physical location.
+        servers: Server fleet, in index order.
+        networks: The /24s the fleet occupies.
+        asn: AS originating the data center's prefixes (Google's 15169 for
+            almost all; the EU2-internal data center sits in the host ISP's
+            AS — the "Same AS" column of Table II).
+        server_capacity_per_hour: Video serves one server sustains per hour
+            before the redirection engine starts shedding load (Figure 15's
+            ceiling).  ``None`` disables the limit.
+    """
+
+    dc_id: str
+    city: City
+    servers: List[ContentServer] = field(default_factory=list)
+    networks: List[IPv4Network] = field(default_factory=list)
+    asn: int = 0
+    server_capacity_per_hour: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """Number of servers (the 'data center size' of the old policy)."""
+        return len(self.servers)
+
+    def server_site(self, server: ContentServer) -> Site:
+        """Network position of one of this data center's servers."""
+        if server.dc_id != self.dc_id:
+            raise ValueError(f"server {server.ip_str} is not in {self.dc_id}")
+        return Site(
+            key=f"srv:{server.ip_str}",
+            point=self.city.point,
+            access=AccessTechnology.DATACENTER,
+            group=self.dc_id,
+        )
+
+    def server_by_index(self, index: int) -> ContentServer:
+        """Server at a given fleet index."""
+        return self.servers[index]
+
+    def __str__(self) -> str:
+        return f"{self.dc_id}({self.city.name}, {self.size} servers)"
+
+
+def build_datacenter(
+    dc_id: str,
+    city: City,
+    num_servers: int,
+    allocator: Ipv4Allocator,
+    asn: int,
+    server_capacity_per_hour: Optional[float] = None,
+) -> DataCenter:
+    """Construct a data center, allocating /24s for its fleet.
+
+    Servers are packed into consecutive /24s (at most 254 usable hosts per
+    /24 — .0 and .255 are skipped as a nod to convention).
+
+    Args:
+        dc_id: Identifier for the new data center.
+        city: Anchor city.
+        num_servers: Fleet size.
+        allocator: Address allocator for the owning AS's pool.
+        asn: Owning AS number.
+        server_capacity_per_hour: Per-server serve capacity.
+
+    Returns:
+        The populated :class:`DataCenter`.
+    """
+    if num_servers < 1:
+        raise ValueError("a data center needs at least one server")
+    dc = DataCenter(
+        dc_id=dc_id,
+        city=city,
+        asn=asn,
+        server_capacity_per_hour=server_capacity_per_hour,
+    )
+    remaining = num_servers
+    index = 0
+    while remaining > 0:
+        network = allocator.allocate_network(24)
+        dc.networks.append(network)
+        usable = [ip for ip in network.hosts()][1:-1]
+        for ip in usable[:remaining]:
+            dc.servers.append(ContentServer(ip=ip, dc_id=dc_id, index=index))
+            index += 1
+        remaining = num_servers - len(dc.servers)
+    return dc
+
+
+class DataCenterDirectory:
+    """Index of all data centers and their servers by address."""
+
+    def __init__(self, datacenters: List[DataCenter]):
+        self._dcs: Dict[str, DataCenter] = {}
+        self._server_dc: Dict[int, str] = {}
+        self._servers: Dict[int, ContentServer] = {}
+        for dc in datacenters:
+            if dc.dc_id in self._dcs:
+                raise ValueError(f"duplicate data center id: {dc.dc_id}")
+            self._dcs[dc.dc_id] = dc
+            for server in dc.servers:
+                if server.ip in self._server_dc:
+                    raise ValueError(f"duplicate server address: {server.ip_str}")
+                self._server_dc[server.ip] = dc.dc_id
+                self._servers[server.ip] = server
+
+    def __iter__(self):
+        return iter(self._dcs.values())
+
+    def __len__(self) -> int:
+        return len(self._dcs)
+
+    def get(self, dc_id: str) -> DataCenter:
+        """Data center by ID.
+
+        Raises:
+            KeyError: For unknown IDs.
+        """
+        try:
+            return self._dcs[dc_id]
+        except KeyError:
+            raise KeyError(f"unknown data center: {dc_id!r}") from None
+
+    def dc_of_server(self, server_ip: int) -> Optional[DataCenter]:
+        """The data center owning an address, or ``None``."""
+        dc_id = self._server_dc.get(server_ip)
+        return None if dc_id is None else self._dcs[dc_id]
+
+    def server_at(self, server_ip: int) -> Optional[ContentServer]:
+        """The server object at an address, or ``None``."""
+        return self._servers.get(server_ip)
+
+    @property
+    def ids(self) -> List[str]:
+        """All data center IDs, in insertion order."""
+        return list(self._dcs)

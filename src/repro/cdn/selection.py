@@ -1,0 +1,229 @@
+"""DNS-level server selection policies.
+
+This is the first of the paper's two selection mechanisms (Section VI):
+"The first is based on DNS resolution which returns the server IP address in
+a data center".  The policy sees *which local resolver* is asking and decides
+which data center's server to hand back.
+
+Two policies are provided:
+
+* :class:`PreferredDcPolicy` — the "new" (2010) YouTube behaviour the paper
+  infers: each resolver has a preferred (lowest-RTT) data center, but the
+  answer can deviate because of (a) per-data-center DNS assignment caps that
+  shed load during diurnal peaks (Section VII-A, Figure 11), (b) standing
+  per-resolver overrides that send some resolvers to a different preferred
+  data center (Section VII-B, Figure 12), and (c) a small background
+  load-balancing spill (the ~5 % of single-flow sessions that land directly
+  on a non-preferred data center in Figure 10a).
+
+* :class:`ProportionalPolicy` — the "old" pre-Google behaviour reported by
+  Adhikari et al.: requests go to data centers proportionally to data-center
+  size, ignoring the client's location.  Kept as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdn.datacenter import ContentServer, DataCenterDirectory
+from repro.net.dns import Answer
+
+#: Short TTL so the authoritative policy keeps per-request control.
+DEFAULT_TTL_S = 20.0
+
+
+def parse_shard(hostname: str) -> int:
+    """Extract the shard index from a ``v<k>.lscache...`` hostname.
+
+    Raises:
+        ValueError: If the hostname is not in the sharded form.
+    """
+    label = hostname.split(".", 1)[0]
+    if not label.startswith("v") or not label[1:].isdigit():
+        raise ValueError(f"not a sharded content hostname: {hostname!r}")
+    return int(label[1:])
+
+
+class SelectionPolicy(abc.ABC):
+    """Base class: a :class:`repro.net.dns.NameMapper` over a data-center set.
+
+    Subclasses own their randomness (seeded at construction) so that a
+    simulated world is reproducible from its seed alone.
+    """
+
+    def __init__(self, directory: DataCenterDirectory, ttl_s: float = DEFAULT_TTL_S):
+        self._directory = directory
+        self._ttl_s = ttl_s
+        #: Total answers handed out per data center (diagnostics only).
+        self.assignments: Dict[str, int] = {}
+
+    @abc.abstractmethod
+    def select_dc(self, resolver_id: str, now_s: float) -> str:
+        """Pick the data center for one query."""
+
+    @abc.abstractmethod
+    def ranking_for(self, resolver_id: str) -> List[str]:
+        """The resolver's data-center preference order (best first)."""
+
+    def server_for_shard(self, dc_id: str, shard: int) -> ContentServer:
+        """The data center's server responsible for a name shard.
+
+        The shard-to-server mapping is what concentrates a hot video's
+        requests on a single machine per data center (Figure 15).
+        """
+        dc = self._directory.get(dc_id)
+        return dc.server_by_index(shard % dc.size)
+
+    def map_name(self, hostname: str, resolver_id: str, now_s: float) -> Answer:
+        """Resolve a sharded content hostname for a querying resolver."""
+        shard = parse_shard(hostname)
+        dc_id = self.select_dc(resolver_id, now_s)
+        self.assignments[dc_id] = self.assignments.get(dc_id, 0) + 1
+        server = self.server_for_shard(dc_id, shard)
+        return Answer(ip=server.ip, ttl_s=self._ttl_s)
+
+
+class PreferredDcPolicy(SelectionPolicy):
+    """Preferred-data-center selection with caps, overrides and spill.
+
+    Args:
+        directory: All data centers (only those in rankings are eligible).
+        rankings: Per-resolver data-center preference order, best (lowest
+            RTT) first.  Standing overrides — the Figure 12 mechanism — are
+            expressed simply as a different ranking for that resolver.
+        dns_capacity_per_hour: Optional per-data-center cap on DNS
+            assignments per hour; when the preferred data center's budget is
+            exhausted the answer falls through to the next ranked one (the
+            Figure 11 mechanism).
+        spill_probability: Background probability that an answer skips the
+            preferred data center even with budget available.
+        seed: RNG seed.
+        ttl_s: TTL of the answers.
+    """
+
+    def __init__(
+        self,
+        directory: DataCenterDirectory,
+        rankings: Dict[str, Sequence[str]],
+        dns_capacity_per_hour: Optional[Dict[str, float]] = None,
+        spill_probability: float = 0.0,
+        seed: int = 0,
+        ttl_s: float = DEFAULT_TTL_S,
+    ):
+        super().__init__(directory, ttl_s)
+        if not rankings:
+            raise ValueError("rankings must not be empty")
+        for resolver_id, ranking in rankings.items():
+            if len(ranking) < 2:
+                raise ValueError(f"ranking for {resolver_id!r} needs >= 2 data centers")
+        self._rankings: Dict[str, List[str]] = {r: list(v) for r, v in rankings.items()}
+        if not 0.0 <= spill_probability < 1.0:
+            raise ValueError("spill_probability must be in [0, 1)")
+        self._capacity = dict(dns_capacity_per_hour or {})
+        self._spill_probability = spill_probability
+        self._rng = random.Random(seed)
+        # dc_id -> [hour_index, assignments_this_hour]
+        self._hour_counts: Dict[str, List[float]] = {}
+
+    def ranking_for(self, resolver_id: str) -> List[str]:
+        """Preference order for a resolver.
+
+        Raises:
+            KeyError: If the resolver has no configured ranking.
+        """
+        try:
+            return list(self._rankings[resolver_id])
+        except KeyError:
+            raise KeyError(f"no ranking configured for resolver {resolver_id!r}") from None
+
+    def preferred_dc(self, resolver_id: str) -> str:
+        """The resolver's preferred data center."""
+        return self.ranking_for(resolver_id)[0]
+
+    def _budget_left(self, dc_id: str, now_s: float) -> bool:
+        cap = self._capacity.get(dc_id)
+        if cap is None:
+            return True
+        hour = int(now_s // 3600.0)
+        entry = self._hour_counts.get(dc_id)
+        if entry is None or entry[0] != hour:
+            entry = [hour, 0.0]
+            self._hour_counts[dc_id] = entry
+        return entry[1] < cap
+
+    def _consume_budget(self, dc_id: str, now_s: float) -> None:
+        if dc_id in self._capacity:
+            hour = int(now_s // 3600.0)
+            entry = self._hour_counts.setdefault(dc_id, [hour, 0.0])
+            if entry[0] != hour:
+                entry[0] = hour
+                entry[1] = 0.0
+            entry[1] += 1.0
+
+    def select_dc(self, resolver_id: str, now_s: float) -> str:
+        """Pick the data center: preferred unless spilled or over budget."""
+        ranking = self._rankings.get(resolver_id)
+        if ranking is None:
+            raise KeyError(f"no ranking configured for resolver {resolver_id!r}")
+        start = 0
+        if self._spill_probability and self._rng.random() < self._spill_probability:
+            # Background load balancing: hand out a nearby alternate.
+            start = 1 if len(ranking) < 3 or self._rng.random() < 0.75 else 2
+        for dc_id in ranking[start:]:
+            if self._budget_left(dc_id, now_s):
+                self._consume_budget(dc_id, now_s)
+                return dc_id
+        # Every ranked data center is over budget: fall back to preferred.
+        return ranking[start]
+
+
+class ProportionalPolicy(SelectionPolicy):
+    """Old-infrastructure baseline: pick data centers by size, not locality.
+
+    Adhikari et al. (IMC 2010) found the pre-Google YouTube "does not
+    consider geographical location of clients and ... requests are directed
+    to data centers proportionally to the data center size".
+
+    Args:
+        directory: All data centers.
+        eligible: Data centers participating (defaults to all).
+        seed: RNG seed.
+        ttl_s: Answer TTL.
+    """
+
+    def __init__(
+        self,
+        directory: DataCenterDirectory,
+        eligible: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        ttl_s: float = DEFAULT_TTL_S,
+    ):
+        super().__init__(directory, ttl_s)
+        ids = list(eligible) if eligible is not None else directory.ids
+        if not ids:
+            raise ValueError("no eligible data centers")
+        self._ids = ids
+        weights = [float(directory.get(dc_id).size) for dc_id in ids]
+        total = sum(weights)
+        self._cum: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cum.append(acc)
+        self._rng = random.Random(seed)
+        # Size-descending order doubles as the "ranking" for redirection.
+        self._by_size = sorted(ids, key=lambda d: -directory.get(d).size)
+
+    def ranking_for(self, resolver_id: str) -> List[str]:
+        """Size-descending order — the old policy has no locality."""
+        return list(self._by_size)
+
+    def select_dc(self, resolver_id: str, now_s: float) -> str:
+        """Sample a data center proportionally to its size."""
+        u = self._rng.random()
+        for dc_id, threshold in zip(self._ids, self._cum):
+            if u <= threshold:
+                return dc_id
+        return self._ids[-1]

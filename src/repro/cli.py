@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Five subcommands cover the library's workflows::
+
+    python -m repro simulate  --dataset EU1-ADSL --scale 0.02 --out flows.tsv
+    python -m repro study     --scale 0.02 --landmarks 120
+    python -m repro sessions  --flows flows.tsv --gaps 1,5,10,60,300
+    python -m repro coldvideo --nodes 45 --samples 25
+    python -m repro whatif    --dataset EU1-ADSL --variants old-policy,flash-crowd
+
+``simulate`` writes a Tstat-style flow log; ``sessions`` re-analyses any
+such log (including ones you edit or generate elsewhere); the rest run the
+paper's composite experiments end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.active.testvideo import TestVideoExperiment
+from repro.core.asmap import render_table2
+from repro.core.geography import render_table3
+from repro.core.pipeline import StudyPipeline
+from repro.core.sessions import flows_per_session_histogram, build_sessions
+from repro.core.summary import render_table1
+from repro.sim.driver import run_all, run_scenario
+from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, build_world
+from repro.trace.logio import read_flow_log, write_flow_log
+from repro.whatif.compare import compare_variants, render_comparison
+from repro.whatif.variants import standard_variants, variant_by_name
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="traffic scale relative to the paper (default 0.02)")
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dissecting Video Server Selection "
+                    "Strategies in the YouTube CDN' (ICDCS 2011).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate one dataset and write a flow log")
+    p_sim.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_sim.add_argument("--out", required=True, help="output flow-log path (TSV)")
+    p_sim.add_argument("--policy", choices=("preferred", "proportional"),
+                       default="preferred")
+    p_sim.add_argument("--duration-days", type=float, default=7.0)
+    _add_common(p_sim)
+
+    p_study = sub.add_parser("study", help="run the full five-dataset study")
+    p_study.add_argument("--landmarks", type=int, default=120,
+                         help="CBG landmark budget (default 120; max 215)")
+    p_study.add_argument("--shared", action="store_true",
+                         help="run all vantage points against one shared CDN "
+                              "(interleaved, interacting) instead of "
+                              "independent per-scenario worlds")
+    p_study.add_argument("--full", action="store_true",
+                         help="print the full study report (every table and "
+                              "figure) instead of the summary")
+    p_study.add_argument("--validate", action="store_true",
+                         help="also print the methodology-validation report "
+                              "(inference vs. simulator ground truth)")
+    _add_common(p_study)
+
+    p_sessions = sub.add_parser("sessions", help="session analysis of a flow log")
+    p_sessions.add_argument("--flows", required=True, help="flow-log path")
+    p_sessions.add_argument("--gaps", default="1,5,10,60,300",
+                            help="comma-separated gap values in seconds")
+
+    p_cold = sub.add_parser("coldvideo", help="run the PlanetLab cold-video experiment")
+    p_cold.add_argument("--nodes", type=int, default=45)
+    p_cold.add_argument("--samples", type=int, default=25)
+    _add_common(p_cold)
+
+    p_whatif = sub.add_parser("whatif", help="compare what-if variants of a scenario")
+    p_whatif.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_whatif.add_argument(
+        "--variants", default="",
+        help="comma-separated variant names (default: the full standard set)",
+    )
+    _add_common(p_whatif)
+
+    p_figures = sub.add_parser(
+        "figures", help="export gnuplot-ready .dat/.gp files for the CDF figures"
+    )
+    p_figures.add_argument("--out-dir", required=True, help="output directory")
+    p_figures.add_argument("--landmarks", type=int, default=120)
+    _add_common(p_figures)
+
+    p_anon = sub.add_parser(
+        "anonymize",
+        help="prefix-preserving anonymisation of a flow log (for sharing)",
+    )
+    p_anon.add_argument("--flows", required=True, help="input flow-log path")
+    p_anon.add_argument("--out", required=True, help="output flow-log path")
+    p_anon.add_argument("--key", required=True,
+                        help="secret key (keep it to map future traces consistently)")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="dose-response sweep of one scenario parameter"
+    )
+    p_sweep.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_sweep.add_argument("--parameter", required=True,
+                         help="ScenarioSpec field to vary")
+    p_sweep.add_argument("--values", required=True,
+                         help="comma-separated grid values")
+    p_sweep.add_argument(
+        "--metrics", default="preferred_share,miss_rate,overload_rate",
+        help="comma-separated ScenarioMetrics attributes to print",
+    )
+    _add_common(p_sweep)
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace, out) -> int:
+    result = run_scenario(
+        args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        duration_s=args.duration_days * 86400.0,
+        policy_kind=args.policy,
+    )
+    count = write_flow_log(result.dataset.records, args.out)
+    print(f"wrote {count} flows ({result.dataset.total_bytes / 1e9:.2f} GB) "
+          f"to {args.out}", file=out)
+    return 0
+
+
+def cmd_study(args: argparse.Namespace, out) -> int:
+    if args.shared:
+        from repro.sim.multistudy import run_shared_study
+
+        results = run_shared_study(scale=args.scale, seed=args.seed)
+    else:
+        results = run_all(scale=args.scale, seed=args.seed)
+    landmark_count = None if args.landmarks >= 215 else args.landmarks
+    pipeline = StudyPipeline(results, landmark_count=landmark_count)
+    if args.full:
+        from repro.core.report import render_study_report
+
+        print(render_study_report(pipeline), file=out)
+    else:
+        print(render_table1(pipeline.summaries.values()), file=out)
+        print("", file=out)
+        print(render_table2(pipeline.as_breakdowns.values()), file=out)
+        print("", file=out)
+        print(render_table3(pipeline.table3_rows), file=out)
+        print("", file=out)
+        for name in pipeline.dataset_names:
+            report = pipeline.preferred_reports[name]
+            print(
+                f"{name:12s} preferred={report.preferred_id:24s} "
+                f"share={report.byte_share(report.preferred_id):6.1%} "
+                f"non-preferred flows={pipeline.nonpreferred_fraction(name):6.1%}",
+                file=out,
+            )
+    if args.validate:
+        from repro.core.validation import render_validation, validate_study
+
+        print("", file=out)
+        print(render_validation(validate_study(pipeline, results)), file=out)
+    return 0
+
+
+def cmd_sessions(args: argparse.Namespace, out) -> int:
+    records = read_flow_log(args.flows)
+    if not records:
+        print("flow log is empty", file=out)
+        return 1
+    gaps = [float(g) for g in args.gaps.split(",") if g.strip()]
+    print(f"{len(records)} flows", file=out)
+    for gap in gaps:
+        sessions = build_sessions(records, gap_s=gap)
+        histogram = flows_per_session_histogram(sessions)
+        cells = " ".join(f"{k}:{histogram[k]:.3f}" for k in ("1", "2", "3", ">9"))
+        print(f"T={gap:>6.1f}s sessions={len(sessions):7d}  {cells}", file=out)
+    return 0
+
+
+def cmd_coldvideo(args: argparse.Namespace, out) -> int:
+    world = build_world(PAPER_SCENARIOS["EU1-ADSL"], scale=0.002, seed=args.seed)
+    experiment = TestVideoExperiment(world, num_nodes=args.nodes, seed=args.seed)
+    report = experiment.run(num_samples=args.samples)
+    cdf = report.ratio_cdf()
+    exemplar = report.most_improved()
+    print(f"test video {report.video_id} at {', '.join(report.origin_dcs)}", file=out)
+    print(f"exemplar {exemplar.node.name}: "
+          + " ".join(f"{r:.0f}" for r in exemplar.rtts_ms[:8]) + " ms", file=out)
+    print(f"ratio>1.2: {1 - cdf.fraction_below(1.2):.1%}   "
+          f"ratio>10: {1 - cdf.fraction_below(10.0):.1%}", file=out)
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace, out) -> int:
+    if args.variants.strip():
+        variants = [variant_by_name(name.strip()) for name in args.variants.split(",")]
+    else:
+        variants = standard_variants()
+    report = compare_variants(args.dataset, variants, scale=args.scale, seed=args.seed)
+    print(render_comparison(report), file=out)
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace, out) -> int:
+    from repro.reporting.gnuplot import export_figure_cdfs
+
+    results = run_all(scale=args.scale, seed=args.seed)
+    landmark_count = None if args.landmarks >= 215 else args.landmarks
+    pipeline = StudyPipeline(results, landmark_count=landmark_count)
+
+    written = []
+    written.append(export_figure_cdfs(
+        {name: pipeline.rtt_cdf(name) for name in pipeline.dataset_names},
+        args.out_dir, "fig02_rtt", x_label="RTT [ms]",
+    ))
+    written.append(export_figure_cdfs(
+        pipeline.fig3_cdfs, args.out_dir, "fig03_confidence",
+        x_label="Radius [km]", logscale_x=True,
+    ))
+    written.append(export_figure_cdfs(
+        {name: pipeline.flow_size_cdf(name) for name in pipeline.dataset_names},
+        args.out_dir, "fig04_flow_sizes", x_label="Bytes", logscale_x=True,
+    ))
+    written.append(export_figure_cdfs(
+        {name: pipeline.fig9_cdf(name) for name in pipeline.dataset_names},
+        args.out_dir, "fig09_nonpreferred",
+        x_label="Fraction of Video Flows to Non-preferred DC",
+    ))
+    written.append(export_figure_cdfs(
+        {name: pipeline.fig13_cdf(name) for name in pipeline.dataset_names},
+        args.out_dir, "fig13_per_video", x_label="Number of Requests",
+        logscale_x=True,
+    ))
+    for path in written:
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def cmd_anonymize(args: argparse.Namespace, out) -> int:
+    from repro.trace.anonymize import PrefixPreservingAnonymizer
+
+    records = read_flow_log(args.flows)
+    anonymizer = PrefixPreservingAnonymizer(args.key.encode())
+    count = write_flow_log(anonymizer.anonymize_records(records), args.out)
+    print(f"anonymised {count} flows -> {args.out} "
+          "(prefix structure preserved; addresses keyed)", file=out)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    from repro.whatif.sweep import sweep_parameter
+
+    values = [float(v) for v in args.values.split(",") if v.strip()]
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    sweep = sweep_parameter(
+        args.dataset, args.parameter, values, scale=args.scale, seed=args.seed
+    )
+    header = f"{args.parameter:>24s}  " + "  ".join(f"{m:>18s}" for m in metrics)
+    print(header, file=out)
+    for value, row in zip(sweep.values, sweep.metrics):
+        cells = "  ".join(f"{getattr(row, m):18.4f}" for m in metrics)
+        print(f"{value:24.4f}  {cells}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "study": cmd_study,
+    "sessions": cmd_sessions,
+    "coldvideo": cmd_coldvideo,
+    "whatif": cmd_whatif,
+    "figures": cmd_figures,
+    "anonymize": cmd_anonymize,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: Argument vector (defaults to ``sys.argv[1:]``).
+        out: Output stream (defaults to stdout; tests pass a buffer).
+
+    Returns:
+        Process exit code.
+    """
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

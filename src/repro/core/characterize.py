@@ -1,0 +1,121 @@
+"""Trace characterisation: the related-work lens on our datasets.
+
+The paper's Section VIII contrasts itself with the characterisation studies
+(Gill et al., Zink et al.): per-video popularity, flow sizes, day/night
+volume.  Those statistics double as sanity checks on the generated
+workload, so the module computes them from any flow log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.flows import is_video_flow
+from repro.reporting.series import Cdf, Series, hourly_counts
+from repro.trace.records import Dataset, FlowRecord
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Headline characterisation of one trace.
+
+    Attributes:
+        name: Dataset name.
+        distinct_videos: Videos requested at least once.
+        singleton_video_fraction: Share of videos requested exactly once.
+        top_percentile_share: Share of video-flow requests captured by the
+            top 1 % of videos.
+        median_flow_bytes: Median video-flow size.
+        peak_to_trough: Peak hourly flow count over the minimum non-zero one.
+    """
+
+    name: str
+    distinct_videos: int
+    singleton_video_fraction: float
+    top_percentile_share: float
+    median_flow_bytes: float
+    peak_to_trough: float
+
+
+def video_popularity(records: Sequence[FlowRecord]) -> Dict[str, int]:
+    """Video-flow request count per VideoID."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        if is_video_flow(record):
+            counts[record.video_id] = counts.get(record.video_id, 0) + 1
+    return counts
+
+
+def popularity_cdf(records: Sequence[FlowRecord]) -> Cdf:
+    """CDF of per-video request counts.
+
+    Raises:
+        ValueError: With no video flows.
+    """
+    counts = video_popularity(records)
+    if not counts:
+        raise ValueError("no video flows to characterise")
+    return Cdf(counts.values())
+
+
+def client_volume_cdf(records: Sequence[FlowRecord]) -> Cdf:
+    """CDF of per-client downloaded bytes (the heavy-user skew).
+
+    Raises:
+        ValueError: With no flows.
+    """
+    volumes: Dict[int, int] = {}
+    for record in records:
+        volumes[record.src_ip] = volumes.get(record.src_ip, 0) + record.num_bytes
+    if not volumes:
+        raise ValueError("no flows to characterise")
+    return Cdf(volumes.values())
+
+
+def hourly_volume_series(dataset: Dataset) -> Series:
+    """Flows per hour over the collection window (the day/night pattern)."""
+    counts = hourly_counts((r.hour for r in dataset.records), dataset.num_hours)
+    series = Series(label=f"{dataset.name} flows/h")
+    for hour, count in enumerate(counts):
+        series.append(float(hour), float(count))
+    return series
+
+
+def top_share(counts: Dict[str, int], percentile: float = 0.01) -> float:
+    """Share of requests captured by the top ``percentile`` of videos.
+
+    Raises:
+        ValueError: With no videos or a bad percentile.
+    """
+    if not counts:
+        raise ValueError("no videos")
+    if not 0.0 < percentile <= 1.0:
+        raise ValueError("percentile must be in (0, 1]")
+    ordered = sorted(counts.values(), reverse=True)
+    k = max(1, int(len(ordered) * percentile))
+    return sum(ordered[:k]) / sum(ordered)
+
+
+def characterize(dataset: Dataset) -> TraceProfile:
+    """Compute the headline profile of one trace.
+
+    Raises:
+        ValueError: On an empty or video-free trace.
+    """
+    counts = video_popularity(dataset.records)
+    if not counts:
+        raise ValueError(f"no video flows in {dataset.name}")
+    singletons = sum(1 for c in counts.values() if c == 1)
+    video_sizes = Cdf(r.num_bytes for r in dataset.records if is_video_flow(r))
+    hourly = [c for c in hourly_counts((r.hour for r in dataset.records),
+                                       dataset.num_hours) if c > 0]
+    peak_to_trough = max(hourly) / min(hourly) if hourly else 0.0
+    return TraceProfile(
+        name=dataset.name,
+        distinct_videos=len(counts),
+        singleton_video_fraction=singletons / len(counts),
+        top_percentile_share=top_share(counts, 0.01),
+        median_flow_bytes=video_sizes.median,
+        peak_to_trough=peak_to_trough,
+    )

@@ -1,0 +1,103 @@
+"""Longitudinal comparison: did the CDN's mapping change between epochs?
+
+The paper itself is a snapshot, but it flags the question (Section VI-B):
+between September 2010 and February 2011, US-Campus's preferred data
+center moved from a ~30 ms one to one over 100 ms away.  Given two
+preferred-data-center reports for the *same vantage point* from different
+collection windows, this module answers: did the preferred data center
+change, what did it cost in RTT, and how did the traffic concentration
+move?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.preferred import PreferredDcReport
+
+
+@dataclass(frozen=True)
+class EpochDiff:
+    """The mapping change between two epochs of one vantage point.
+
+    Attributes:
+        vantage_name: Dataset/vantage the epochs belong to.
+        old_preferred: Earlier epoch's preferred data center.
+        new_preferred: Later epoch's preferred data center.
+        old_rtt_ms: Min RTT to the earlier preferred data center.
+        new_rtt_ms: Min RTT to the later preferred data center.
+        old_share: Byte share of the earlier preferred data center.
+        new_share: Byte share of the later preferred data center.
+    """
+
+    vantage_name: str
+    old_preferred: str
+    new_preferred: str
+    old_rtt_ms: float
+    new_rtt_ms: float
+    old_share: float
+    new_share: float
+
+    @property
+    def preferred_changed(self) -> bool:
+        """Whether the preferred data center moved."""
+        return self.old_preferred != self.new_preferred
+
+    @property
+    def rtt_delta_ms(self) -> float:
+        """RTT cost (positive = the new mapping is farther)."""
+        return self.new_rtt_ms - self.old_rtt_ms
+
+    @property
+    def left_rtt_optimum(self) -> bool:
+        """Whether the new epoch's mapping abandoned the RTT optimum
+        by a clear margin (the paper's February-2011 situation)."""
+        return self.preferred_changed and self.rtt_delta_ms > 10.0
+
+    def render(self) -> str:
+        """One-paragraph text summary."""
+        if not self.preferred_changed:
+            return (
+                f"{self.vantage_name}: preferred data center unchanged "
+                f"({self.old_preferred}, {self.old_rtt_ms:.0f} ms, "
+                f"{self.old_share:.0%} of bytes in both epochs)"
+            )
+        return (
+            f"{self.vantage_name}: preferred data center moved "
+            f"{self.old_preferred} ({self.old_rtt_ms:.0f} ms, {self.old_share:.0%}) "
+            f"-> {self.new_preferred} ({self.new_rtt_ms:.0f} ms, {self.new_share:.0%}); "
+            f"RTT delta {self.rtt_delta_ms:+.0f} ms"
+            + (" — the mapping left the RTT optimum" if self.left_rtt_optimum else "")
+        )
+
+
+def compare_epochs(old: PreferredDcReport, new: PreferredDcReport) -> EpochDiff:
+    """Diff two epochs of the same vantage point.
+
+    Args:
+        old: The earlier collection window's report.
+        new: The later one's.
+
+    Returns:
+        The :class:`EpochDiff`.
+
+    Raises:
+        ValueError: If the reports describe different vantage points (a
+            dataset-name prefix match is required: ``"US-Campus"`` and
+            ``"US-Campus-Feb2011"`` are the same vantage).
+    """
+    prefix = old.dataset_name.split("-Feb")[0].split("-Sep")[0]
+    if not new.dataset_name.startswith(prefix):
+        raise ValueError(
+            f"cannot compare epochs of different vantage points: "
+            f"{old.dataset_name!r} vs {new.dataset_name!r}"
+        )
+    return EpochDiff(
+        vantage_name=prefix,
+        old_preferred=old.preferred_id,
+        new_preferred=new.preferred_id,
+        old_rtt_ms=old.preferred.min_rtt_ms,
+        new_rtt_ms=new.preferred.min_rtt_ms,
+        old_share=old.byte_share(old.preferred_id),
+        new_share=new.byte_share(new.preferred_id),
+    )

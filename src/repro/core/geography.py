@@ -1,0 +1,115 @@
+"""Server geography analyses (Section V: Figures 2, 3; Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.geo.regions import Continent
+from repro.geoloc.clustering import ServerMap
+from repro.geoloc.probing import RttProber
+from repro.net.latency import Site
+from repro.reporting.series import Cdf
+from repro.reporting.tables import TextTable
+from repro.trace.records import Dataset
+
+#: Table III column order.
+TABLE3_BUCKETS = ("N. America", "Europe", "Others")
+
+
+def vantage_rtt_campaign(
+    dataset: Dataset,
+    prober: RttProber,
+    site_of_ip: Callable[[int], Optional[Site]],
+) -> Dict[int, float]:
+    """Ping every server seen in a dataset from its vantage point (Figure 2).
+
+    Args:
+        dataset: The dataset whose servers to probe.
+        prober: Measurement plumbing.
+        site_of_ip: Physical reachability: IP → pingable site (None for
+            unreachable/filtered addresses).
+
+    Returns:
+        Mapping server IP → measured min RTT (ms).
+    """
+    origin = dataset.vantage.probe_site
+    rtts: Dict[int, float] = {}
+    for ip in dataset.server_ips:
+        target = site_of_ip(ip)
+        if target is None:
+            continue
+        rtts[ip] = prober.measure_ms(origin, target)
+    return rtts
+
+
+def rtt_cdf(rtts: Mapping[int, float]) -> Cdf:
+    """CDF of per-server minimum RTTs (one Figure 2 curve).
+
+    Raises:
+        ValueError: With no measurements.
+    """
+    return Cdf(rtts.values())
+
+
+def confidence_radius_cdfs(server_map: ServerMap) -> Dict[str, Cdf]:
+    """Figure 3: CDFs of the CBG confidence radius, split US vs Europe.
+
+    One sample per geolocated /24 representative, bucketed by the continent
+    of the inferred location.
+    """
+    samples: Dict[str, List[float]] = {"US": [], "Europe": []}
+    slash24_cluster: Dict[int, Continent] = {}
+    for cluster in server_map.clusters:
+        for ip in cluster.server_ips:
+            slash24_cluster[ip & 0xFFFFFF00] = cluster.continent
+    for net24, result in server_map.results_by_slash24.items():
+        continent = slash24_cluster.get(net24)
+        if continent is Continent.NORTH_AMERICA:
+            samples["US"].append(result.confidence_radius_km)
+        elif continent is Continent.EUROPE:
+            samples["Europe"].append(result.confidence_radius_km)
+    return {region: Cdf(values) for region, values in samples.items() if values}
+
+
+@dataclass(frozen=True)
+class ContinentRow:
+    """One Table III row."""
+
+    name: str
+    counts: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """Total geolocated servers for the dataset."""
+        return sum(self.counts.values())
+
+
+def continent_table(
+    datasets: Iterable[Dataset],
+    server_map: ServerMap,
+    focus_ips: Mapping[str, Sequence[int]],
+) -> List[ContinentRow]:
+    """Table III: Google servers per continent for each dataset.
+
+    Args:
+        datasets: The datasets, in presentation order.
+        server_map: The CBG clustering result over all servers.
+        focus_ips: Per-dataset Google-focus server lists (Section IV).
+    """
+    rows: List[ContinentRow] = []
+    for dataset in datasets:
+        counts = server_map.continent_counts(focus_ips[dataset.name])
+        rows.append(ContinentRow(name=dataset.name, counts=counts))
+    return rows
+
+
+def render_table3(rows: Iterable[ContinentRow]) -> str:
+    """Render Table III."""
+    table = TextTable(
+        ["Dataset", *TABLE3_BUCKETS],
+        title="TABLE III — GOOGLE SERVERS PER CONTINENT ON EACH DATASET",
+    )
+    for row in rows:
+        table.add_row(row.name, *(row.counts.get(b, 0) for b in TABLE3_BUCKETS))
+    return table.render()

@@ -1,0 +1,392 @@
+"""End-to-end study pipeline.
+
+Orchestrates the paper's full methodology over a set of collected datasets:
+
+1. Table I traffic summaries (raw traces).
+2. whois / Table II AS breakdown, then the Google-focus filter (Section IV).
+3. Active RTT campaigns from every vantage point (Figure 2).
+4. CBG calibration and server→data-center clustering over the union of all
+   datasets' servers (Section V; Figure 3, Table III).
+5. Per-dataset session building and preferred-data-center analysis
+   (Figures 4-10).
+6. The cause analyses: DNS load balancing (Figure 11), subnet divergence
+   (Figure 12), hot spots and cold content (Figures 13-16).
+
+Every step is a cached property/method, so benchmarks can time one step
+while sharing its prerequisites — the way the authors analysed one set of
+traces many times.
+
+The pipeline's inputs are measurement-shaped only: flow datasets, a whois
+registry, the physical ability to ping an IP.  Simulator ground truth never
+enters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core import asmap, flows, geography, hotspots, loadbalance, nonpreferred
+from repro.core import peering as peering_mod
+from repro.core import preferred as preferred_mod
+from repro.core import sessions as sessions_mod
+from repro.core import subnets as subnets_mod
+from repro.core.summary import DatasetSummary, summarize
+from repro.geo.landmarks import LandmarkSet, generate_landmarks
+from repro.geoloc.cbg import CbgGeolocator
+from repro.geoloc.clustering import ServerMap, cluster_servers
+from repro.geoloc.probing import RttProber
+from repro.net.latency import Site
+from repro.reporting.series import Cdf, Series
+from repro.sim.engine import SimulationResult
+from repro.sim.seeding import derive_seed
+from repro.trace.records import Dataset, FlowRecord
+
+
+@dataclass
+class StudyResults:
+    """A bundle of everything the pipeline regenerates (for examples)."""
+
+    summaries: Dict[str, DatasetSummary]
+    as_breakdowns: Dict[str, asmap.AsBreakdown]
+    table3_rows: List[geography.ContinentRow]
+    preferred_reports: Dict[str, preferred_mod.PreferredDcReport]
+    nonpreferred_fractions: Dict[str, float]
+    one_flow: Dict[str, nonpreferred.OneFlowBreakdown]
+    two_flow: Dict[str, Dict[nonpreferred.SessionPattern, float]]
+
+
+class StudyPipeline:
+    """The paper's analysis pipeline over a set of simulated datasets.
+
+    Args:
+        results: Mapping dataset name → simulation result (dataset + the
+            physical world behind it, for active measurements).
+        landmark_count: Landmark budget for CBG; ``None`` uses the paper's
+            full 215-node set.  Tests pass a smaller number.
+        probes_per_measurement: Pings per RTT measurement.
+        seed: Measurement-noise seed (independent of the worlds' seeds).
+        session_gap_s: The session gap T (the paper settles on 1 s).
+    """
+
+    def __init__(
+        self,
+        results: Mapping[str, SimulationResult],
+        landmark_count: Optional[int] = None,
+        probes_per_measurement: int = 6,
+        seed: int = 11,
+        session_gap_s: float = sessions_mod.DEFAULT_GAP_S,
+    ):
+        if not results:
+            raise ValueError("pipeline needs at least one dataset")
+        self._results = dict(results)
+        self._landmark_count = landmark_count
+        self._probes = probes_per_measurement
+        self._seed = seed
+        self._gap_s = session_gap_s
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def dataset_names(self) -> List[str]:
+        """Dataset names in insertion order."""
+        return list(self._results)
+
+    def dataset(self, name: str) -> Dataset:
+        """One dataset's trace."""
+        return self._results[name].dataset
+
+    @cached_property
+    def _site_of_ip(self) -> Callable[[int], Optional[Site]]:
+        """Physical reachability: IP → pingable site, across all worlds."""
+        worlds = [r.world for r in self._results.values()]
+
+        def site_of_ip(ip: int) -> Optional[Site]:
+            for world in worlds:
+                site = world.site_of_server_ip(ip)
+                if site is not None:
+                    return site
+            return None
+
+        return site_of_ip
+
+    def site_of_ip(self, ip: int) -> Optional[Site]:
+        """Public probing hook: the pingable site behind a server address."""
+        return self._site_of_ip(ip)
+
+    @cached_property
+    def _latency(self):
+        # All worlds share one physical internet (same latency seed); any
+        # world's model measures it.
+        return next(iter(self._results.values())).world.latency
+
+    def _prober(self, label: str) -> RttProber:
+        return RttProber(
+            self._latency,
+            probes=self._probes,
+            seed=derive_seed(self._seed, "prober", label),
+        )
+
+    # --------------------------------------------------------- T1, T2, focus
+
+    @cached_property
+    def summaries(self) -> Dict[str, DatasetSummary]:
+        """Table I rows."""
+        return {name: summarize(r.dataset) for name, r in self._results.items()}
+
+    @cached_property
+    def as_breakdowns(self) -> Dict[str, asmap.AsBreakdown]:
+        """Table II rows."""
+        return {
+            name: asmap.breakdown_by_as(r.dataset, r.world.registry)
+            for name, r in self._results.items()
+        }
+
+    @cached_property
+    def focus_ips(self) -> Dict[str, List[int]]:
+        """Per-dataset Google-focus server lists (Section IV)."""
+        return {
+            name: asmap.google_focus_ips(r.dataset, r.world.registry)
+            for name, r in self._results.items()
+        }
+
+    @cached_property
+    def focus_records(self) -> Dict[str, List[FlowRecord]]:
+        """Per-dataset flow records restricted to the focus servers."""
+        out: Dict[str, List[FlowRecord]] = {}
+        for name, result in self._results.items():
+            keep = set(self.focus_ips[name])
+            out[name] = [r for r in result.dataset.records if r.dst_ip in keep]
+        return out
+
+    # ------------------------------------------------------------------- F2
+
+    @cached_property
+    def rtt_campaigns(self) -> Dict[str, Dict[int, float]]:
+        """Figure 2: per-dataset server RTT campaigns."""
+        campaigns: Dict[str, Dict[int, float]] = {}
+        for name, result in self._results.items():
+            campaigns[name] = geography.vantage_rtt_campaign(
+                result.dataset, self._prober(f"campaign/{name}"), self._site_of_ip
+            )
+        return campaigns
+
+    def rtt_cdf(self, name: str) -> Cdf:
+        """One Figure 2 curve."""
+        return geography.rtt_cdf(self.rtt_campaigns[name])
+
+    # ------------------------------------------------------- CBG (F3, T3)
+
+    @cached_property
+    def landmarks(self) -> LandmarkSet:
+        """The CBG landmark population."""
+        full = generate_landmarks(seed=derive_seed(self._seed, "landmarks"))
+        if self._landmark_count is not None and self._landmark_count < len(full):
+            return full.subsample(self._landmark_count, seed=self._seed)
+        return full
+
+    @cached_property
+    def geolocator(self) -> CbgGeolocator:
+        """The calibrated CBG instance."""
+        return CbgGeolocator(self.landmarks, self._prober("cbg"))
+
+    @cached_property
+    def server_map(self) -> ServerMap:
+        """CBG clustering over the union of all datasets' focus servers."""
+        union: List[int] = sorted(
+            {ip for ips in self.focus_ips.values() for ip in ips}
+        )
+        site_of_ip = self._site_of_ip
+
+        def geolocate(ip: int):
+            site = site_of_ip(ip)
+            if site is None:
+                raise LookupError(f"cannot reach server {ip} for probing")
+            return self.geolocator.geolocate_target(site)
+
+        return cluster_servers(union, geolocate)
+
+    @cached_property
+    def fig3_cdfs(self) -> Dict[str, Cdf]:
+        """Figure 3: confidence-radius CDFs (US vs Europe)."""
+        return geography.confidence_radius_cdfs(self.server_map)
+
+    @cached_property
+    def table3_rows(self) -> List[geography.ContinentRow]:
+        """Table III rows."""
+        return geography.continent_table(
+            [r.dataset for r in self._results.values()],
+            self.server_map,
+            self.focus_ips,
+        )
+
+    # ------------------------------------------------------- F4, F5, F6
+
+    def flow_size_cdf(self, name: str) -> Cdf:
+        """One Figure 4 curve."""
+        return flows.flow_size_cdf(self.dataset(name).records)
+
+    def gap_sensitivity(self, name: str) -> Dict[float, Dict[str, float]]:
+        """Figure 5: flows-per-session vs. the gap T."""
+        return sessions_mod.gap_sensitivity(self.focus_records[name])
+
+    @cached_property
+    def sessions(self) -> Dict[str, List[sessions_mod.Session]]:
+        """Per-dataset video sessions at the configured gap."""
+        return {
+            name: sessions_mod.build_sessions(self.focus_records[name], self._gap_s)
+            for name in self._results
+        }
+
+    def session_histogram(self, name: str) -> Dict[str, float]:
+        """One Figure 6 bar group."""
+        return sessions_mod.flows_per_session_histogram(self.sessions[name])
+
+    # ------------------------------------------------------- F7, F8
+
+    @cached_property
+    def preferred_reports(self) -> Dict[str, preferred_mod.PreferredDcReport]:
+        """Per-dataset preferred-data-center reports."""
+        reports: Dict[str, preferred_mod.PreferredDcReport] = {}
+        for name, result in self._results.items():
+            reports[name] = preferred_mod.analyze_preferred(
+                result.dataset,
+                self.server_map,
+                self.rtt_campaigns[name],
+                focus_ips=self.focus_ips[name],
+            )
+        return reports
+
+    # ------------------------------------------------------- F9, F10
+
+    def fig9_cdf(self, name: str, min_flows_per_hour: int = 5) -> Cdf:
+        """One Figure 9 curve."""
+        return nonpreferred.hourly_nonpreferred_cdf(
+            self.focus_records[name],
+            self.preferred_reports[name],
+            self.server_map,
+            self.dataset(name).num_hours,
+            min_flows_per_hour=min_flows_per_hour,
+        )
+
+    def nonpreferred_fraction(self, name: str) -> float:
+        """Overall non-preferred video-flow share for one dataset."""
+        return nonpreferred.nonpreferred_fraction(
+            self.focus_records[name], self.preferred_reports[name], self.server_map
+        )
+
+    def one_flow_breakdown(self, name: str) -> nonpreferred.OneFlowBreakdown:
+        """One Figure 10(a) bar."""
+        return nonpreferred.one_flow_breakdown(
+            self.sessions[name], self.preferred_reports[name], self.server_map
+        )
+
+    def two_flow_breakdown(self, name: str) -> Dict[nonpreferred.SessionPattern, float]:
+        """One Figure 10(b) bar."""
+        return nonpreferred.two_flow_breakdown(
+            self.sessions[name], self.preferred_reports[name], self.server_map
+        )
+
+    def dns_vs_redirection(self, name: str) -> Dict[str, float]:
+        """Cause shares of non-preferred video flows (Section VI-C)."""
+        return nonpreferred.dns_vs_redirection_shares(
+            self.sessions[name], self.preferred_reports[name], self.server_map
+        )
+
+    def multi_flow_breakdown(
+        self, name: str, min_flows: int = 3
+    ) -> nonpreferred.MultiFlowBreakdown:
+        """Sessions with more than two flows (Section VI-C's closing note)."""
+        return nonpreferred.multi_flow_breakdown(
+            self.sessions[name],
+            self.preferred_reports[name],
+            self.server_map,
+            min_flows=min_flows,
+        )
+
+    def peering(self, name: str) -> peering_mod.PeeringReport:
+        """Peering-traffic breakdown for one dataset (capacity planning)."""
+        result = self._results[name]
+        return peering_mod.analyze_peering(result.dataset, result.world.registry)
+
+    # ---------------------------------------------------- F11, F12
+
+    def load_balance(self, name: str) -> loadbalance.LoadBalanceReport:
+        """One dataset's Figure 11 panels."""
+        return loadbalance.analyze_load_balance(
+            self.focus_records[name],
+            self.preferred_reports[name],
+            self.server_map,
+            self.dataset(name).num_hours,
+        )
+
+    def subnet_shares(self, name: str) -> List[subnets_mod.SubnetShare]:
+        """One dataset's Figure 12 bars."""
+        return subnets_mod.subnet_shares(
+            self.dataset(name),
+            self.preferred_reports[name],
+            self.server_map,
+            records=self.focus_records[name],
+        )
+
+    # ------------------------------------------------- F13, F14, F15, F16
+
+    def fig13_cdf(self, name: str) -> Cdf:
+        """One Figure 13 curve."""
+        return hotspots.nonpreferred_video_cdf(
+            self.focus_records[name], self.preferred_reports[name], self.server_map
+        )
+
+    def hot_videos(self, name: str, top_k: int = 4) -> List[hotspots.HotVideoSeries]:
+        """Figure 14's hot-video time lines."""
+        return hotspots.top_nonpreferred_videos(
+            self.focus_records[name],
+            self.preferred_reports[name],
+            self.server_map,
+            self.dataset(name).num_hours,
+            top_k=top_k,
+        )
+
+    def server_load(self, name: str) -> hotspots.ServerLoadReport:
+        """Figure 15's load panels."""
+        return hotspots.preferred_server_load(
+            self.focus_records[name],
+            self.preferred_reports[name],
+            self.server_map,
+            self.dataset(name).num_hours,
+        )
+
+    def hot_server(self, name: str, video_id: Optional[str] = None) -> hotspots.HotServerReport:
+        """Figure 16: the hot video's server, with session-pattern split.
+
+        Args:
+            name: Dataset name.
+            video_id: The video to follow; defaults to the dataset's top
+                non-preferred video ("video1" in the paper).
+        """
+        if video_id is None:
+            video_id = self.hot_videos(name, top_k=1)[0].video_id
+        return hotspots.hot_server_sessions(
+            self.sessions[name],
+            video_id,
+            self.preferred_reports[name],
+            self.server_map,
+            self.dataset(name).num_hours,
+        )
+
+    # ---------------------------------------------------------------- bundle
+
+    def run(self) -> StudyResults:
+        """Compute the headline results for every dataset."""
+        return StudyResults(
+            summaries=self.summaries,
+            as_breakdowns=self.as_breakdowns,
+            table3_rows=self.table3_rows,
+            preferred_reports=self.preferred_reports,
+            nonpreferred_fractions={
+                name: self.nonpreferred_fraction(name) for name in self._results
+            },
+            one_flow={name: self.one_flow_breakdown(name) for name in self._results},
+            two_flow={name: self.two_flow_breakdown(name) for name in self._results},
+        )

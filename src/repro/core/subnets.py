@@ -1,0 +1,107 @@
+"""Per-subnet non-preferred access shares (Section VII-B, Figure 12).
+
+"Each set of bars corresponds to an internal subnet at US-Campus.  The bars
+... show the fraction of accesses to non-preferred data centers, and the
+fraction of all accesses, which may be attributed to the subnet.  Net-3
+shows a clear bias: though this subnet only accounts for around 4% of the
+total video flows ... it accounts for almost 50% of all the flows served by
+non-preferred data centers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.nonpreferred import video_flow_preference
+from repro.core.preferred import PreferredDcReport
+from repro.geoloc.clustering import ServerMap
+from repro.trace.records import Dataset, FlowRecord
+
+
+@dataclass(frozen=True)
+class SubnetShare:
+    """One Figure 12 bar pair.
+
+    Attributes:
+        subnet_name: Internal subnet label.
+        all_share: The subnet's share of all video flows.
+        nonpreferred_share: Its share of the non-preferred video flows.
+    """
+
+    subnet_name: str
+    all_share: float
+    nonpreferred_share: float
+
+    @property
+    def bias(self) -> float:
+        """How over-represented the subnet is among non-preferred flows."""
+        if self.all_share == 0:
+            return 0.0
+        return self.nonpreferred_share / self.all_share
+
+
+def subnet_shares(
+    dataset: Dataset,
+    report: PreferredDcReport,
+    server_map: ServerMap,
+    records: Optional[Sequence[FlowRecord]] = None,
+) -> List[SubnetShare]:
+    """Compute Figure 12's bars for a dataset.
+
+    Args:
+        dataset: The dataset (its subnet plan attributes client addresses).
+        report: Preferred-data-center report.
+        server_map: CBG clustering.
+        records: Flow records to analyse (defaults to the dataset's own;
+            pass the focus-filtered list to match the paper).
+
+    Returns:
+        One :class:`SubnetShare` per subnet, in the vantage point's order.
+
+    Raises:
+        ValueError: With no classifiable video flows.
+    """
+    if records is None:
+        records = dataset.records
+    split = video_flow_preference(records, report, server_map)
+    all_flows = split[True] + split[False]
+    if not all_flows:
+        raise ValueError("no classifiable video flows")
+    nonpref_flows = split[False]
+
+    def count_by_subnet(flows: Sequence[FlowRecord]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for flow in flows:
+            subnet = dataset.vantage.subnet_of(flow.src_ip)
+            if subnet is None:
+                continue
+            counts[subnet.name] = counts.get(subnet.name, 0) + 1
+        return counts
+
+    all_counts = count_by_subnet(all_flows)
+    nonpref_counts = count_by_subnet(nonpref_flows)
+    total_all = max(1, sum(all_counts.values()))
+    total_nonpref = max(1, sum(nonpref_counts.values()))
+
+    shares: List[SubnetShare] = []
+    for subnet in dataset.vantage.subnets:
+        shares.append(
+            SubnetShare(
+                subnet_name=subnet.name,
+                all_share=all_counts.get(subnet.name, 0) / total_all,
+                nonpreferred_share=nonpref_counts.get(subnet.name, 0) / total_nonpref,
+            )
+        )
+    return shares
+
+
+def most_biased_subnet(shares: Sequence[SubnetShare]) -> SubnetShare:
+    """The subnet most over-represented among non-preferred flows.
+
+    Raises:
+        ValueError: With no subnets.
+    """
+    if not shares:
+        raise ValueError("no subnets")
+    return max(shares, key=lambda s: s.bias)

@@ -1,0 +1,208 @@
+"""World city registry.
+
+Cities serve three roles in the reproduction:
+
+* anchors for the 33 YouTube data centers the paper finds (Section V);
+* anchors for the five vantage points (Section III-B);
+* the vocabulary the server-to-data-center clustering step uses when it
+  groups geolocated server IPs "located in the same city" (Section V).
+
+Coordinates are real; they only need to be accurate to a few kilometres
+because the latency model and CBG operate at tens-of-kilometres resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.regions import Continent, continent_of_country
+
+
+@dataclass(frozen=True)
+class City:
+    """A named city with coordinates.
+
+    Attributes:
+        name: Unique city name (``"Amsterdam"``).
+        country: ISO-3166 alpha-2 country code.
+        point: City-centre coordinates.
+    """
+
+    name: str
+    country: str
+    point: GeoPoint
+
+    @property
+    def continent(self) -> Continent:
+        """Continent the city belongs to."""
+        return continent_of_country(self.country)
+
+
+# (name, country, lat, lon) — the working set of cities.  The first block
+# hosts data centers; the second hosts vantage points and probing anchors.
+_CITY_ROWS: Tuple[Tuple[str, str, float, float], ...] = (
+    # --- United States (13 data-center anchors) ---
+    ("Mountain View", "US", 37.386, -122.084),
+    ("Los Angeles", "US", 34.052, -118.244),
+    ("Seattle", "US", 47.606, -122.332),
+    ("Denver", "US", 39.739, -104.990),
+    ("Dallas", "US", 32.777, -96.797),
+    ("Houston", "US", 29.760, -95.370),
+    ("Chicago", "US", 41.878, -87.630),
+    ("Atlanta", "US", 33.749, -84.388),
+    ("Miami", "US", 25.762, -80.192),
+    ("Ashburn", "US", 39.044, -77.487),
+    ("New York", "US", 40.713, -74.006),
+    ("Boston", "US", 42.360, -71.059),
+    ("Kansas City", "US", 39.100, -94.578),
+    # --- Europe (14 data-center anchors) ---
+    ("Amsterdam", "NL", 52.370, 4.895),
+    ("Frankfurt", "DE", 50.110, 8.682),
+    ("London", "GB", 51.507, -0.128),
+    ("Paris", "FR", 48.857, 2.352),
+    ("Madrid", "ES", 40.417, -3.704),
+    ("Milan", "IT", 45.464, 9.190),
+    ("Stockholm", "SE", 59.329, 18.069),
+    ("Dublin", "IE", 53.349, -6.260),
+    ("Brussels", "BE", 50.850, 4.352),
+    ("Zurich", "CH", 47.377, 8.541),
+    ("Vienna", "AT", 48.208, 16.374),
+    ("Munich", "DE", 48.135, 11.582),
+    ("Hamburg", "DE", 53.551, 9.994),
+    ("Warsaw", "PL", 52.230, 21.012),
+    # --- Rest of world (6 data-center anchors) ---
+    ("Tokyo", "JP", 35.677, 139.650),
+    ("Singapore", "SG", 1.352, 103.820),
+    ("Hong Kong", "HK", 22.319, 114.170),
+    ("Sydney", "AU", -33.869, 151.209),
+    ("Sao Paulo", "BR", -23.551, -46.633),
+    ("Mumbai", "IN", 19.076, 72.878),
+    # --- Vantage points and probing anchors ---
+    ("West Lafayette", "US", 40.426, -86.908),
+    ("Turin", "IT", 45.070, 7.687),
+    ("Rome", "IT", 41.903, 12.496),
+    ("Lisbon", "PT", 38.722, -9.139),
+    ("Helsinki", "FI", 60.170, 24.938),
+    ("Oslo", "NO", 59.913, 10.752),
+    ("Copenhagen", "DK", 55.676, 12.568),
+    ("Prague", "CZ", 50.075, 14.438),
+    ("Budapest", "HU", 47.498, 19.040),
+    ("Athens", "GR", 37.984, 23.727),
+    ("Bucharest", "RO", 44.427, 26.103),
+    ("Toronto", "CA", 43.651, -79.347),
+    ("Montreal", "CA", 45.509, -73.554),
+    ("Vancouver", "CA", 49.283, -123.121),
+    ("Mexico City", "MX", 19.433, -99.133),
+    ("Buenos Aires", "AR", -34.604, -58.382),
+    ("Santiago", "CL", -33.449, -70.669),
+    ("Bogota", "CO", 4.711, -74.072),
+    ("Seoul", "KR", 37.566, 126.978),
+    ("Taipei", "TW", 25.033, 121.565),
+    ("Tel Aviv", "IL", 32.085, 34.782),
+    ("Bangkok", "TH", 13.756, 100.502),
+    ("Beijing", "CN", 39.904, 116.407),
+    ("Auckland", "NZ", -36.848, 174.763),
+    ("Cape Town", "ZA", -33.925, 18.424),
+    ("Nairobi", "KE", -1.292, 36.822),
+    ("Phoenix", "US", 33.448, -112.074),
+    ("Minneapolis", "US", 44.978, -93.265),
+    ("Salt Lake City", "US", 40.761, -111.891),
+    ("Portland", "US", 45.505, -122.675),
+    ("Philadelphia", "US", 39.953, -75.164),
+    ("Detroit", "US", 42.331, -83.046),
+    ("St. Louis", "US", 38.627, -90.199),
+    ("Pittsburgh", "US", 40.441, -79.996),
+    ("Raleigh", "US", 35.780, -78.639),
+    ("Austin", "US", 30.267, -97.743),
+    ("San Diego", "US", 32.716, -117.161),
+    ("Lyon", "FR", 45.764, 4.836),
+    ("Barcelona", "ES", 41.385, 2.173),
+    ("Berlin", "DE", 52.520, 13.405),
+    ("Manchester", "GB", 53.483, -2.244),
+    ("Edinburgh", "GB", 55.953, -3.188),
+    ("Gothenburg", "SE", 57.709, 11.975),
+    ("Rotterdam", "NL", 51.924, 4.478),
+    ("Geneva", "CH", 46.204, 6.143),
+    ("Krakow", "PL", 50.065, 19.945),
+    ("Porto", "PT", 41.158, -8.629),
+    ("Osaka", "JP", 34.694, 135.502),
+    ("Melbourne", "AU", -37.814, 144.963),
+    ("Rio de Janeiro", "BR", -22.907, -43.173),
+    ("Delhi", "IN", 28.704, 77.102),
+)
+
+
+class WorldAtlas:
+    """Lookup table over the known cities.
+
+    The atlas is immutable after construction and is shared across the
+    project via :func:`default_atlas`.
+    """
+
+    def __init__(self, cities: Iterable[City]):
+        self._cities: List[City] = list(cities)
+        self._by_name: Dict[str, City] = {}
+        for city in self._cities:
+            if city.name in self._by_name:
+                raise ValueError(f"duplicate city name: {city.name!r}")
+            self._by_name[city.name] = city
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+    def __iter__(self):
+        return iter(self._cities)
+
+    def get(self, name: str) -> City:
+        """City by exact name.
+
+        Raises:
+            KeyError: If the city is not in the atlas.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown city: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def cities_in(self, continent: Continent) -> List[City]:
+        """All cities on a given continent."""
+        return [c for c in self._cities if c.continent is continent]
+
+    def nearest(self, point: GeoPoint, max_km: Optional[float] = None) -> Optional[City]:
+        """The city nearest to ``point``.
+
+        Args:
+            point: Query location.
+            max_km: If given, return ``None`` when the nearest city is
+                farther than this.
+
+        Returns:
+            The nearest :class:`City`, or ``None`` if ``max_km`` excludes it.
+        """
+        best: Optional[City] = None
+        best_km = float("inf")
+        for city in self._cities:
+            d = haversine_km(point, city.point)
+            if d < best_km:
+                best, best_km = city, d
+        if max_km is not None and best_km > max_km:
+            return None
+        return best
+
+
+_DEFAULT: Optional[WorldAtlas] = None
+
+
+def default_atlas() -> WorldAtlas:
+    """The shared world atlas (built lazily, cached)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = WorldAtlas(
+            City(name, country, GeoPoint(lat, lon)) for name, country, lat, lon in _CITY_ROWS
+        )
+    return _DEFAULT

@@ -1,0 +1,39 @@
+"""Server geolocation toolkit (Section V of the paper).
+
+Three geolocation methods, matching the paper's comparison:
+
+* :mod:`repro.geoloc.cbg` — Constraint-Based Geolocation (Gueye et al.,
+  ToN 2006), implemented from scratch: per-landmark bestline calibration,
+  RTT-to-distance constraints, spherical region intersection, confidence
+  radius.  The method the paper adopts.
+* :mod:`repro.geoloc.geodb` — an IP-to-location database in the Maxmind
+  mould; accurate for ISP space, pins the whole Google AS to Mountain View
+  (the failure the paper documents).
+* :mod:`repro.geoloc.rdns` — reverse-DNS name parsing with airport codes;
+  works on the legacy infrastructure, returns nothing for the new one
+  ("DNS reverse lookup is not allowed").
+
+Plus the active-probing plumbing (:mod:`repro.geoloc.probing`) and the
+server-to-data-center clustering step (:mod:`repro.geoloc.clustering`).
+"""
+
+from repro.geoloc.probing import RttProber
+from repro.geoloc.cbg import Bestline, CbgGeolocator, CbgResult
+from repro.geoloc.geodb import GeoDatabase, build_reference_geodb
+from repro.geoloc.rdns import ReverseDnsTable, build_reverse_dns, infer_city_from_hostname
+from repro.geoloc.clustering import DataCenterCluster, ServerMap, cluster_servers
+
+__all__ = [
+    "RttProber",
+    "Bestline",
+    "CbgGeolocator",
+    "CbgResult",
+    "GeoDatabase",
+    "build_reference_geodb",
+    "ReverseDnsTable",
+    "build_reverse_dns",
+    "infer_city_from_hostname",
+    "DataCenterCluster",
+    "ServerMap",
+    "cluster_servers",
+]

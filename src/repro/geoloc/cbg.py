@@ -1,0 +1,330 @@
+"""Constraint-Based Geolocation (CBG), from scratch.
+
+Implements the algorithm of Gueye, Ziviani, Crovella and Fdida
+("Constraint-based Geolocation of Internet Hosts", IEEE/ACM ToN 2006) that
+the paper uses to locate YouTube servers (Section V):
+
+1. **Self-calibration.**  Each landmark measures RTTs to all other
+   landmarks, whose positions it knows.  From the (distance, RTT) cloud it
+   fits its *bestline* — the line lying at or below every point, with slope
+   no gentler than the speed-of-light-in-fibre bound.  The bestline converts
+   a measured RTT into the loosest *over*-estimate of distance consistent
+   with that landmark's observed paths.
+
+2. **Multilateration.**  For a target, each landmark's measured RTT yields a
+   constraint circle (centre = landmark, radius = bestline distance).  The
+   target must lie in the intersection of all circles.
+
+3. **Region estimation.**  The intersection is sampled on a sunflower grid
+   laid over the tightest circle; the estimate is the spherical centroid of
+   the feasible samples, and the *confidence radius* is the radius of the
+   disc with the same area as the feasible region — the quantity whose CDF
+   the paper reports in Figure 3.
+
+Constraints only ever over-estimate distance (detours and queueing add
+delay), so the true location is in the region; when noise makes the region
+empty the solver relaxes all radii by 5 % and retries a few times, then
+falls back to the tightest landmark's neighbourhood.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, destination_point, haversine_km, haversine_km_many
+from repro.geo.landmarks import Landmark, LandmarkSet
+from repro.geoloc.probing import RttProber
+from repro.net.latency import AccessTechnology, C_FIBER_KM_PER_MS, Site
+
+#: Minimum bestline slope: RTT grows at least at the fibre propagation rate.
+MIN_SLOPE_MS_PER_KM = 2.0 / C_FIBER_KM_PER_MS
+
+#: Never let a constraint radius collapse below this (absorbs the fixed
+#: access/processing latency difference between calibration and target
+#: paths).
+MIN_RADIUS_KM = 30.0
+
+#: Sunflower samples laid over the tightest constraint circle.
+_REGION_SAMPLES = 512
+
+#: Relaxation schedule when the intersection comes up empty.
+_RELAX_FACTOR = 1.05
+_RELAX_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class Bestline:
+    """A landmark's calibrated RTT-to-distance conversion.
+
+    Attributes:
+        slope_ms_per_km: Bestline slope (≥ the fibre bound).
+        intercept_ms: Bestline intercept (≥ 0).
+    """
+
+    slope_ms_per_km: float
+    intercept_ms: float
+
+    def distance_km(self, rtt_ms: float) -> float:
+        """The constraint radius implied by a measured RTT."""
+        raw = (rtt_ms - self.intercept_ms) / self.slope_ms_per_km
+        return max(MIN_RADIUS_KM, raw)
+
+
+def fit_bestline(distances_km: Sequence[float], rtts_ms: Sequence[float]) -> Bestline:
+    """Fit the bestline under a (distance, RTT) point cloud.
+
+    The bestline is the line below all points whose slope is at least the
+    fibre bound, chosen (as in the CBG paper) to minimise the total vertical
+    distance to the cloud.  Candidates are the edges of the cloud's lower
+    convex hull, clamped to the slope bound.
+
+    Raises:
+        ValueError: With fewer than 2 calibration points.
+    """
+    if len(distances_km) != len(rtts_ms):
+        raise ValueError("distances and rtts must align")
+    if len(distances_km) < 2:
+        raise ValueError("need at least 2 calibration points")
+    pts = sorted(zip(distances_km, rtts_ms))
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+
+    hull = _lower_hull(pts)
+    candidates: List[Tuple[float, float]] = []
+    for (x1, y1), (x2, y2) in zip(hull, hull[1:]):
+        if x2 <= x1:
+            continue
+        slope = (y2 - y1) / (x2 - x1)
+        if slope < MIN_SLOPE_MS_PER_KM:
+            continue
+        intercept = y1 - slope * x1
+        candidates.append((slope, max(0.0, intercept)))
+    # Always include the slope-bound fallback: the steepest line at the
+    # fibre slope that stays below every point.
+    fallback_intercept = float(np.min(ys - MIN_SLOPE_MS_PER_KM * xs))
+    candidates.append((MIN_SLOPE_MS_PER_KM, max(0.0, fallback_intercept)))
+
+    best: Optional[Tuple[float, float, float]] = None  # (cost, slope, intercept)
+    for slope, intercept in candidates:
+        predicted = slope * xs + intercept
+        if np.any(predicted > ys + 1e-9):
+            # Clamping the intercept pushed the line above a point; lower it.
+            intercept = float(np.min(ys - slope * xs))
+            if intercept < 0.0:
+                continue
+            predicted = slope * xs + intercept
+        cost = float(np.sum(ys - predicted))
+        if best is None or cost < best[0]:
+            best = (cost, slope, intercept)
+    if best is None:
+        # Every candidate required a negative intercept: fall back to the
+        # fibre slope through the origin.
+        return Bestline(slope_ms_per_km=MIN_SLOPE_MS_PER_KM, intercept_ms=0.0)
+    return Bestline(slope_ms_per_km=best[1], intercept_ms=best[2])
+
+
+def _lower_hull(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Lower convex hull of points sorted by x (Andrew's monotone chain)."""
+    hull: List[Tuple[float, float]] = []
+    for p in points:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            if (x2 - x1) * (p[1] - y1) - (y2 - y1) * (p[0] - x1) <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(p)
+    return hull
+
+
+@dataclass
+class CbgResult:
+    """Outcome of geolocating one target.
+
+    Attributes:
+        estimate: Estimated position (centroid of the feasible region).
+        confidence_radius_km: Radius of the disc with the feasible region's
+            area (Figure 3's quantity).
+        feasible: Whether a non-empty intersection was found without
+            falling back.
+        constraints_used: Number of landmark constraints applied.
+    """
+
+    estimate: GeoPoint
+    confidence_radius_km: float
+    feasible: bool
+    constraints_used: int
+
+
+class CbgGeolocator:
+    """A calibrated CBG instance over a landmark set.
+
+    Args:
+        landmarks: The landmark population (positions known).
+        prober: Measurement plumbing (shared delay model underneath).
+    """
+
+    def __init__(self, landmarks: LandmarkSet, prober: RttProber):
+        if len(landmarks) < 4:
+            raise ValueError("CBG needs at least 4 landmarks")
+        self._landmarks = list(landmarks)
+        self._prober = prober
+        self._bestlines: Dict[str, Bestline] = {}
+        self._calibrate()
+
+    @property
+    def landmarks(self) -> List[Landmark]:
+        """The landmark population."""
+        return list(self._landmarks)
+
+    def bestline(self, landmark_name: str) -> Bestline:
+        """The calibrated bestline of one landmark.
+
+        Raises:
+            KeyError: For unknown landmark names.
+        """
+        return self._bestlines[landmark_name]
+
+    def _landmark_site(self, landmark: Landmark) -> Site:
+        return Site(
+            key=f"lm:{landmark.name}",
+            point=landmark.point,
+            access=AccessTechnology.CAMPUS,
+        )
+
+    def _calibrate(self) -> None:
+        """Fit every landmark's bestline from inter-landmark RTTs."""
+        sites = {lm.name: self._landmark_site(lm) for lm in self._landmarks}
+        points = {lm.name: lm.point for lm in self._landmarks}
+        for lm in self._landmarks:
+            distances: List[float] = []
+            rtts: List[float] = []
+            for other in self._landmarks:
+                if other.name == lm.name:
+                    continue
+                distances.append(haversine_km(points[lm.name], points[other.name]))
+                rtts.append(self._prober.measure_ms(sites[lm.name], sites[other.name]))
+            self._bestlines[lm.name] = fit_bestline(distances, rtts)
+
+    # ------------------------------------------------------------- geolocate
+
+    def measure_target(self, target: Site) -> Dict[str, float]:
+        """Probe the target from every landmark."""
+        return {
+            lm.name: self._prober.measure_ms(self._landmark_site(lm), target)
+            for lm in self._landmarks
+        }
+
+    def geolocate(self, target_rtts: Mapping[str, float]) -> CbgResult:
+        """Locate a target from per-landmark RTT measurements.
+
+        Args:
+            target_rtts: Mapping landmark name → measured min RTT (ms);
+                landmarks absent from the mapping contribute no constraint.
+
+        Returns:
+            The :class:`CbgResult`.
+
+        Raises:
+            ValueError: If fewer than 3 constraints are available.
+        """
+        centers: List[GeoPoint] = []
+        radii: List[float] = []
+        for lm in self._landmarks:
+            rtt = target_rtts.get(lm.name)
+            if rtt is None:
+                continue
+            radius = self._bestlines[lm.name].distance_km(rtt)
+            centers.append(lm.point)
+            radii.append(radius)
+        if len(centers) < 3:
+            raise ValueError("CBG needs at least 3 constraints")
+
+        radii_arr = np.array(radii)
+        for _ in range(_RELAX_ROUNDS):
+            result = self._intersect(centers, radii_arr)
+            if result is not None:
+                estimate, confidence = result
+                return CbgResult(
+                    estimate=estimate,
+                    confidence_radius_km=confidence,
+                    feasible=True,
+                    constraints_used=len(centers),
+                )
+            radii_arr = radii_arr * _RELAX_FACTOR
+
+        # Fallback: the tightest constraint's neighbourhood.
+        tightest = int(np.argmin(radii_arr))
+        return CbgResult(
+            estimate=centers[tightest],
+            confidence_radius_km=float(radii_arr[tightest]),
+            feasible=False,
+            constraints_used=len(centers),
+        )
+
+    def geolocate_target(self, target: Site) -> CbgResult:
+        """Probe and locate a target in one step."""
+        return self.geolocate(self.measure_target(target))
+
+    def _intersect(
+        self, centers: Sequence[GeoPoint], radii: np.ndarray
+    ) -> Optional[Tuple[GeoPoint, float]]:
+        """Sample the intersection of the constraint discs.
+
+        Returns:
+            ``(centroid, confidence_radius_km)`` or ``None`` if the sampled
+            intersection is empty.
+        """
+        tightest = int(np.argmin(radii))
+        anchor = centers[tightest]
+        anchor_radius = float(radii[tightest])
+        lats, lons = _sunflower(anchor, anchor_radius, _REGION_SAMPLES)
+
+        mask = np.ones(lats.shape[0], dtype=bool)
+        for center, radius in zip(centers, radii):
+            if not mask.any():
+                return None
+            distances = haversine_km_many(center, lats, lons)
+            mask &= distances <= radius
+        if not mask.any():
+            return None
+        feasible_lats = lats[mask]
+        feasible_lons = lons[mask]
+        centroid = _spherical_centroid(feasible_lats, feasible_lons)
+        area_fraction = feasible_lats.shape[0] / lats.shape[0]
+        confidence = anchor_radius * math.sqrt(area_fraction)
+        return centroid, confidence
+
+
+def _sunflower(center: GeoPoint, radius_km: float, count: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A sunflower-spiral sample of the disc around ``center``."""
+    golden = math.pi * (3.0 - math.sqrt(5.0))
+    lats = np.empty(count)
+    lons = np.empty(count)
+    for i in range(count):
+        r = radius_km * math.sqrt((i + 0.5) / count)
+        theta = math.degrees(golden * i) % 360.0
+        p = destination_point(center, theta, r)
+        lats[i] = p.lat
+        lons[i] = p.lon
+    return lats, lons
+
+
+def _spherical_centroid(lats: np.ndarray, lons: np.ndarray) -> GeoPoint:
+    """Centroid of points on the sphere (3-D mean projected back)."""
+    lat_r = np.radians(lats)
+    lon_r = np.radians(lons)
+    x = np.cos(lat_r) * np.cos(lon_r)
+    y = np.cos(lat_r) * np.sin(lon_r)
+    z = np.sin(lat_r)
+    mx, my, mz = float(np.mean(x)), float(np.mean(y)), float(np.mean(z))
+    norm = math.sqrt(mx * mx + my * my + mz * mz)
+    if norm == 0.0:
+        return GeoPoint(0.0, 0.0)
+    lat = math.degrees(math.asin(mz / norm))
+    lon = math.degrees(math.atan2(my, mx))
+    return GeoPoint(lat, lon)

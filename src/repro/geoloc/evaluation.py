@@ -1,0 +1,142 @@
+"""Geolocation-method evaluation harness.
+
+Runs any set of geolocation methods over a common target set and scores
+them on answer rate and positional error — the quantitative backbone of
+the Section V methodology choice and of the A2 ablation.  Methods are
+plugged in as callables so CBG, shortest-ping, the geo database, reverse
+DNS, or any future method evaluate under identical conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.reporting.series import Cdf
+from repro.reporting.tables import TextTable
+
+#: A method answers with an estimated position, or ``None`` (no answer).
+GeolocateFn = Callable[[str], Optional[GeoPoint]]
+
+
+@dataclass(frozen=True)
+class MethodScore:
+    """One method's evaluation outcome.
+
+    Attributes:
+        method: Method name.
+        targets: Targets offered.
+        answered: Targets the method produced an estimate for.
+        errors_km: Positional error per answered target.
+    """
+
+    method: str
+    targets: int
+    answered: int
+    errors_km: Tuple[float, ...]
+
+    @property
+    def answer_rate(self) -> float:
+        """Fraction of targets answered."""
+        return self.answered / max(1, self.targets)
+
+    @property
+    def median_error_km(self) -> float:
+        """Median positional error over answered targets.
+
+        Raises:
+            ValueError: If nothing was answered.
+        """
+        if not self.errors_km:
+            raise ValueError(f"method {self.method!r} answered nothing")
+        ordered = sorted(self.errors_km)
+        return ordered[len(ordered) // 2]
+
+    def error_cdf(self) -> Cdf:
+        """The error CDF over answered targets.
+
+        Raises:
+            ValueError: If nothing was answered.
+        """
+        return Cdf(self.errors_km)
+
+
+@dataclass
+class EvaluationReport:
+    """Scores for every evaluated method over one target set."""
+
+    scores: List[MethodScore] = field(default_factory=list)
+
+    def score(self, method: str) -> MethodScore:
+        """Score by method name.
+
+        Raises:
+            KeyError: For unknown methods.
+        """
+        for candidate in self.scores:
+            if candidate.method == method:
+                return candidate
+        raise KeyError(f"no score for method {method!r}")
+
+    def render(self) -> str:
+        """Text table of the comparison."""
+        table = TextTable(
+            ["method", "answered", "answer rate", "median err [km]", "p90 err [km]"],
+            title="GEOLOCATION METHOD EVALUATION",
+        )
+        for score in self.scores:
+            if score.errors_km:
+                cdf = score.error_cdf()
+                median = f"{cdf.median:.0f}"
+                p90 = f"{cdf.quantile(0.9):.0f}"
+            else:
+                median = p90 = "-"
+            table.add_row(
+                score.method,
+                f"{score.answered}/{score.targets}",
+                f"{score.answer_rate:.0%}",
+                median,
+                p90,
+            )
+        return table.render()
+
+
+def evaluate_methods(
+    methods: Mapping[str, GeolocateFn],
+    truth: Mapping[str, GeoPoint],
+) -> EvaluationReport:
+    """Evaluate methods against ground-truth target positions.
+
+    Args:
+        methods: Method name → geolocation callable (takes the target
+            label, returns an estimate or ``None``).
+        truth: Target label → true position.
+
+    Returns:
+        The :class:`EvaluationReport`, methods in input order.
+
+    Raises:
+        ValueError: With no targets.
+    """
+    if not truth:
+        raise ValueError("no targets to evaluate on")
+    report = EvaluationReport()
+    for name, geolocate in methods.items():
+        errors: List[float] = []
+        answered = 0
+        for target, true_point in truth.items():
+            estimate = geolocate(target)
+            if estimate is None:
+                continue
+            answered += 1
+            errors.append(haversine_km(estimate, true_point))
+        report.scores.append(
+            MethodScore(
+                method=name,
+                targets=len(truth),
+                answered=answered,
+                errors_km=tuple(errors),
+            )
+        )
+    return report

@@ -1,0 +1,55 @@
+"""Active RTT probing.
+
+The measurement primitive behind Figure 2 (vantage-point ping campaigns),
+CBG's landmark probes, and the PlanetLab experiments: send a handful of
+pings, keep the minimum.  The prober owns its RNG so that measurement noise
+never perturbs the simulated world's randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Tuple
+
+from repro.net.latency import LatencyModel, Site
+
+
+class RttProber:
+    """Min-filtered RTT measurements over the shared delay model.
+
+    Args:
+        latency: The world's delay model.
+        probes: Pings per measurement (the minimum is reported).
+        seed: RNG seed for queueing noise.
+    """
+
+    def __init__(self, latency: LatencyModel, probes: int = 10, seed: int = 0):
+        if probes < 1:
+            raise ValueError("probes must be >= 1")
+        self._latency = latency
+        self._probes = probes
+        self._rng = random.Random(seed)
+        self.measurements = 0
+
+    def measure_ms(self, origin: Site, target: Site) -> float:
+        """One min-filtered RTT measurement, in milliseconds."""
+        self.measurements += 1
+        return self._latency.measure_min_rtt_ms(origin, target, self._rng, self._probes)
+
+    def campaign(self, origin: Site, targets: Mapping[str, Site]) -> Dict[str, float]:
+        """Measure from one origin to many labelled targets.
+
+        Returns:
+            Mapping from target label to measured min RTT (ms).
+        """
+        return {label: self.measure_ms(origin, site) for label, site in targets.items()}
+
+    def matrix(
+        self, origins: Mapping[str, Site], targets: Mapping[str, Site]
+    ) -> Dict[Tuple[str, str], float]:
+        """Full origin × target measurement matrix."""
+        results: Dict[Tuple[str, str], float] = {}
+        for o_label, o_site in origins.items():
+            for t_label, t_site in targets.items():
+                results[(o_label, t_label)] = self.measure_ms(o_site, t_site)
+        return results

@@ -1,0 +1,100 @@
+"""Reverse-DNS geolocation baseline.
+
+Adhikari et al. located the *old* YouTube infrastructure by parsing data
+center identifiers out of server hostnames.  The paper notes "this approach
+is not applicable to the new YouTube infrastructure, where DNS reverse
+lookup is not allowed" (Section V).  We model both halves: legacy servers
+get airport-coded PTR names; Google-AS servers have no PTR record at all.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.cdn.datacenter import DataCenter
+from repro.geo.cities import City, WorldAtlas, default_atlas
+
+#: IATA-style codes for the cities that host legacy infrastructure (plus a
+#: few extras so the parser is useful beyond the built-in scenarios).
+CITY_AIRPORT_CODES: Dict[str, str] = {
+    "Amsterdam": "ams",
+    "London": "lhr",
+    "Mountain View": "sjc",
+    "Paris": "cdg",
+    "Frankfurt": "fra",
+    "New York": "lga",
+    "Chicago": "ord",
+    "Dallas": "dfw",
+    "Ashburn": "iad",
+    "Tokyo": "nrt",
+    "Sydney": "syd",
+    "Sao Paulo": "gru",
+    "Miami": "mia",
+    "Seattle": "sea",
+    "Milan": "mxp",
+}
+
+_CODE_TO_CITY = {code: name for name, code in CITY_AIRPORT_CODES.items()}
+
+
+@dataclass
+class ReverseDnsTable:
+    """PTR records of the simulated world.
+
+    Attributes:
+        records: Mapping from integer IPv4 to PTR hostname.  Addresses with
+            no entry behave like the new infrastructure: NXDOMAIN.
+    """
+
+    records: Dict[int, str] = field(default_factory=dict)
+
+    def lookup(self, ip: int) -> Optional[str]:
+        """PTR hostname for an address, or ``None`` (NXDOMAIN)."""
+        return self.records.get(ip)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def build_reverse_dns(legacy_dcs: Iterable[DataCenter]) -> ReverseDnsTable:
+    """PTR records for the legacy fleets; nothing for the new infrastructure.
+
+    Legacy names follow the old YouTube convention of embedding the site's
+    airport code, e.g. ``v03.lscache-ams.youtube.com``.
+
+    Raises:
+        KeyError: If a legacy data center's city has no airport code.
+    """
+    table = ReverseDnsTable()
+    for dc in legacy_dcs:
+        code = CITY_AIRPORT_CODES.get(dc.city.name)
+        if code is None:
+            raise KeyError(f"no airport code for legacy city {dc.city.name!r}")
+        for server in dc.servers:
+            shard = zlib.crc32(str(server.ip).encode()) % 24
+            table.records[server.ip] = f"v{shard:02d}.lscache-{code}.youtube.com"
+    return table
+
+
+def infer_city_from_hostname(
+    hostname: str, atlas: Optional[WorldAtlas] = None
+) -> Optional[City]:
+    """Extract the location hint from a PTR hostname, if any.
+
+    Args:
+        hostname: A PTR name such as ``"v03.lscache-ams.youtube.com"``.
+        atlas: City atlas (defaults to the shared one).
+
+    Returns:
+        The matching :class:`City`, or ``None`` when no known code appears.
+    """
+    if atlas is None:
+        atlas = default_atlas()
+    for label in hostname.lower().split("."):
+        for chunk in label.replace("_", "-").split("-"):
+            city_name = _CODE_TO_CITY.get(chunk)
+            if city_name is not None and city_name in atlas:
+                return atlas.get(city_name)
+    return None

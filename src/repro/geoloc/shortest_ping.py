@@ -1,0 +1,85 @@
+"""Shortest-Ping geolocation baseline.
+
+The simplest delay-based method (and the classic straw-man CBG is compared
+against in Gueye et al.): place the target at the location of the landmark
+that measures the smallest RTT to it.  No calibration, no triangulation —
+accuracy is bounded by landmark density, and there is no confidence region
+at all.  Included to quantify what CBG's constraint intersection buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.geo.coords import GeoPoint
+from repro.geo.landmarks import Landmark, LandmarkSet
+from repro.geoloc.probing import RttProber
+from repro.net.latency import AccessTechnology, Site
+
+
+@dataclass(frozen=True)
+class ShortestPingResult:
+    """Outcome of a shortest-ping localisation.
+
+    Attributes:
+        estimate: The winning landmark's position.
+        landmark_name: The winning landmark.
+        rtt_ms: Its measured RTT to the target.
+    """
+
+    estimate: GeoPoint
+    landmark_name: str
+    rtt_ms: float
+
+
+class ShortestPingGeolocator:
+    """Shortest-ping over a landmark set.
+
+    Args:
+        landmarks: Landmark population.
+        prober: Measurement plumbing.
+    """
+
+    def __init__(self, landmarks: LandmarkSet, prober: RttProber):
+        if len(landmarks) < 1:
+            raise ValueError("need at least one landmark")
+        self._landmarks = list(landmarks)
+        self._prober = prober
+
+    def _site(self, landmark: Landmark) -> Site:
+        return Site(
+            key=f"lm:{landmark.name}",
+            point=landmark.point,
+            access=AccessTechnology.CAMPUS,
+        )
+
+    def measure_target(self, target: Site) -> Mapping[str, float]:
+        """Probe the target from every landmark."""
+        return {
+            lm.name: self._prober.measure_ms(self._site(lm), target)
+            for lm in self._landmarks
+        }
+
+    def geolocate(self, target_rtts: Mapping[str, float]) -> ShortestPingResult:
+        """Locate a target from per-landmark RTTs.
+
+        Raises:
+            ValueError: With no usable measurements.
+        """
+        best_name: Optional[str] = None
+        best_rtt = float("inf")
+        for lm in self._landmarks:
+            rtt = target_rtts.get(lm.name)
+            if rtt is not None and rtt < best_rtt:
+                best_name, best_rtt = lm.name, rtt
+        if best_name is None:
+            raise ValueError("no landmark measurements supplied")
+        winner = next(lm for lm in self._landmarks if lm.name == best_name)
+        return ShortestPingResult(
+            estimate=winner.point, landmark_name=best_name, rtt_ms=best_rtt
+        )
+
+    def geolocate_target(self, target: Site) -> ShortestPingResult:
+        """Probe and locate in one step."""
+        return self.geolocate(self.measure_target(target))

@@ -1,0 +1,110 @@
+"""DNS resolution machinery.
+
+Section II of the paper: the video page embeds a content-server *name*; the
+client resolves it through its **local DNS server**, and YouTube's
+authoritative servers exploit that resolution step to route clients
+("the DNS resolution is exploited by YouTube to route clients to appropriate
+servers according to various YouTube policies").
+
+Crucially, the authoritative answer depends on *which local resolver asks*
+— that is what produces the Figure 12 effect where one campus subnet
+(Net-3) with its own resolvers lands on a different preferred data center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, Tuple
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A DNS A-record answer.
+
+    Attributes:
+        ip: Resolved address (integer IPv4).
+        ttl_s: Time-to-live in seconds.
+    """
+
+    ip: int
+    ttl_s: float
+
+
+class NameMapper(Protocol):
+    """The policy interface the authoritative server delegates to.
+
+    Implemented by :class:`repro.cdn.selection.SelectionPolicy` subclasses;
+    the DNS layer itself stays mechanism-only.
+    """
+
+    def map_name(self, hostname: str, resolver_id: str, now_s: float) -> Answer:
+        """Resolve ``hostname`` for the given querying resolver at ``now_s``."""
+        ...
+
+
+@dataclass
+class AuthoritativeServer:
+    """YouTube's authoritative DNS: delegates every query to the policy.
+
+    Attributes:
+        mapper: Selection policy that actually picks the answer.
+        queries: Total queries served (for diagnostics).
+    """
+
+    mapper: NameMapper
+    queries: int = 0
+
+    def resolve(self, hostname: str, resolver_id: str, now_s: float) -> Answer:
+        """Answer one query from a local resolver."""
+        self.queries += 1
+        return self.mapper.map_name(hostname, resolver_id, now_s)
+
+
+@dataclass
+class LocalResolver:
+    """A network's local caching resolver.
+
+    Clients in a subnet share one of these; the resolver's identity is the
+    routing key the authoritative policy sees.
+
+    Attributes:
+        resolver_id: Stable identity, e.g. ``"us-campus/net-3"``.
+        authoritative: Upstream authoritative server.
+        cache_enabled: Whether answers are cached for their TTL.  The
+            default is off: YouTube used very short TTLs precisely so the
+            authoritative policy retains per-request control, and disabling
+            the cache keeps the load-shaping policies exact.  Enable it to
+            study TTL effects.
+    """
+
+    resolver_id: str
+    authoritative: AuthoritativeServer
+    cache_enabled: bool = False
+    _cache: Dict[str, Tuple[Answer, float]] = field(default_factory=dict, repr=False)
+    hits: int = 0
+    misses: int = 0
+
+    def query(self, hostname: str, now_s: float) -> Answer:
+        """Resolve a hostname on behalf of a client."""
+        if self.cache_enabled:
+            cached = self._cache.get(hostname)
+            if cached is not None:
+                answer, expiry = cached
+                if now_s < expiry:
+                    self.hits += 1
+                    return answer
+                del self._cache[hostname]
+        self.misses += 1
+        answer = self.authoritative.resolve(hostname, self.resolver_id, now_s)
+        if self.cache_enabled and answer.ttl_s > 0:
+            self._cache[hostname] = (answer, now_s + answer.ttl_s)
+        return answer
+
+    def flush(self) -> None:
+        """Drop all cached entries."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of live cache entries (stale ones included until touched)."""
+        return len(self._cache)

@@ -1,0 +1,18 @@
+"""Reporting utilities: CDFs, time series, and plain-text tables.
+
+Everything the benchmarks print goes through this package, so the
+regenerated tables and figure series share one look.
+"""
+
+from repro.reporting.series import Cdf, Series, hourly_counts, hourly_fraction
+from repro.reporting.tables import TextTable, format_bytes, format_fraction
+
+__all__ = [
+    "Cdf",
+    "Series",
+    "hourly_counts",
+    "hourly_fraction",
+    "TextTable",
+    "format_bytes",
+    "format_fraction",
+]

@@ -1,0 +1,36 @@
+"""Simulation driver: scenario specs, world building, and week runs.
+
+The five scenario specs mirror the paper's five datasets (Table I); a
+scenario builds a self-contained world (CDN + vantage point + workload) and
+the engine pushes a simulated week of requests through it, producing the
+flow-level dataset the analysis pipeline consumes.
+"""
+
+from repro.sim.seeding import derive_seed
+from repro.sim.scenarios import (
+    DATASET_NAMES,
+    PAPER_SCENARIOS,
+    ScenarioSpec,
+    ScenarioWorld,
+    build_world,
+)
+from repro.sim.engine import RequestProcessor, SimulationResult, run_requests
+from repro.sim.driver import run_all, run_scenario
+from repro.sim.multistudy import build_shared_worlds, run_shared, run_shared_study
+
+__all__ = [
+    "derive_seed",
+    "DATASET_NAMES",
+    "PAPER_SCENARIOS",
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "build_world",
+    "RequestProcessor",
+    "SimulationResult",
+    "run_requests",
+    "run_all",
+    "run_scenario",
+    "build_shared_worlds",
+    "run_shared",
+    "run_shared_study",
+]

@@ -1,0 +1,95 @@
+"""High-level drivers: run one scenario or the whole five-dataset study.
+
+Runs are memoised in-process by their full parameter tuple: tests and the
+per-figure benchmarks all analyse the same simulated week, exactly like the
+paper's authors analysing one set of collected traces many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.engine import SimulationResult, run_requests
+from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, ScenarioSpec, build_world
+from repro.trace.records import WEEK_S
+
+#: Default volume scale used by tests/benchmarks; preserves all shapes at
+#: roughly 2 % of the paper's traffic.
+DEFAULT_SCALE = 0.02
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def run_scenario(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    policy_kind: str = "preferred",
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Simulate one dataset's week.
+
+    Args:
+        name: Dataset name from :data:`~repro.sim.scenarios.PAPER_SCENARIOS`.
+        scale: Traffic volume scale (1.0 = paper scale).
+        seed: Master seed.
+        duration_s: Collection window.
+        policy_kind: ``"preferred"`` or ``"proportional"`` (ablation).
+        use_cache: Reuse a previous identical run in this process.
+
+    Returns:
+        The :class:`~repro.sim.engine.SimulationResult`.
+
+    Raises:
+        KeyError: For unknown dataset names.
+    """
+    spec = PAPER_SCENARIOS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return run_spec(spec, scale, seed, duration_s, policy_kind, use_cache)
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    policy_kind: str = "preferred",
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Simulate an arbitrary scenario spec (see :func:`run_scenario`)."""
+    key = (spec, scale, seed, duration_s, policy_kind)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    world = build_world(spec, scale=scale, seed=seed, duration_s=duration_s,
+                        policy_kind=policy_kind)
+    result = run_requests(world)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def run_all(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    policy_kind: str = "preferred",
+    names: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, SimulationResult]:
+    """Simulate every dataset of the study.
+
+    Returns:
+        Mapping from dataset name to its result, in the paper's order.
+    """
+    selected = names if names is not None else DATASET_NAMES
+    return {
+        name: run_scenario(name, scale=scale, seed=seed, duration_s=duration_s,
+                           policy_kind=policy_kind)
+        for name in selected
+    }
+
+
+def clear_cache() -> None:
+    """Drop all memoised runs (tests use this to control memory)."""
+    _CACHE.clear()

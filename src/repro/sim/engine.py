@@ -1,0 +1,151 @@
+"""The simulation engine: push a request stream through the world.
+
+Requests are processed in time order so that the stateful mechanisms —
+DNS assignment budgets, per-server hourly loads, pull-through caching —
+see the same causal order a real week would produce.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdn.cluster import RequestOutcome
+from repro.net.dns import LocalResolver
+from repro.net.latency import Site
+from repro.sim.scenarios import ScenarioWorld
+from repro.sim.seeding import derive_seed
+from repro.trace.monitor import EdgeMonitor
+from repro.trace.records import Dataset
+from repro.workload.requests import Request
+
+
+#: Cap on retained per-request performance samples (reservoir truncation).
+_MAX_PERF_SAMPLES = 50_000
+
+
+@dataclass
+class SimulationResult:
+    """A finished scenario run.
+
+    Attributes:
+        world: The world that was run (kept for active measurements — the
+            probing and PlanetLab experiments need the physical world).
+        dataset: The collected flow-level trace.
+        requests: Number of requests processed.
+        cause_counts: Ground-truth redirect-cause tally (tests only — the
+            analysis pipeline never reads it).
+        dns_dc_counts: Ground-truth DNS-assignment tally per data center.
+        served_dc_counts: Ground-truth serve tally per data center.
+        startup_delay_samples: Per-request video startup delays in seconds
+            (time from the request until the video flow's first byte) — the
+            user-performance metric what-if comparisons report.
+        serving_rtt_samples: Floor RTT (ms) between each client and the
+            server that delivered its video.
+    """
+
+    world: ScenarioWorld
+    dataset: Dataset
+    requests: int
+    cause_counts: Counter = field(default_factory=Counter)
+    dns_dc_counts: Counter = field(default_factory=Counter)
+    served_dc_counts: Counter = field(default_factory=Counter)
+    startup_delay_samples: List[float] = field(default_factory=list)
+    serving_rtt_samples: List[float] = field(default_factory=list)
+
+
+class RequestProcessor:
+    """Per-vantage processing state: monitor, RNG, caches, result tallies.
+
+    Both the per-scenario engine (:func:`run_requests`) and the shared-world
+    engine (:func:`repro.sim.multistudy.run_shared`) drive one of these per
+    dataset.
+    """
+
+    def __init__(self, world: ScenarioWorld, miss_probability: float = 0.002):
+        self.world = world
+        self.monitor = EdgeMonitor(
+            world.vantage,
+            miss_probability=miss_probability,
+            seed=derive_seed(world.seed, world.spec.name, "monitor"),
+        )
+        self._serve_rng = random.Random(
+            derive_seed(world.seed, world.spec.name, "serve")
+        )
+        self._site_cache: Dict[int, Site] = {}
+        self._resolver_cache: Dict[int, LocalResolver] = {}
+        self.result = SimulationResult(world=world, dataset=None, requests=0)
+
+    def process(self, request: Request) -> RequestOutcome:
+        """Serve one request, record its flows and ground truth."""
+        world = self.world
+        result = self.result
+        client_ip = request.client.ip
+        site = self._site_cache.get(client_ip)
+        if site is None:
+            site = world.vantage.client_site(client_ip)
+            self._site_cache[client_ip] = site
+        resolver = self._resolver_cache.get(client_ip)
+        if resolver is None:
+            resolver = world.vantage.resolver_for(client_ip)
+            self._resolver_cache[client_ip] = resolver
+        outcome = world.system.handle_request(
+            client_ip=client_ip,
+            client_site=site,
+            resolver=resolver,
+            video=request.video,
+            resolution=request.resolution,
+            t_s=request.t_s,
+            rng=self._serve_rng,
+        )
+        self.monitor.observe_all(outcome.events)
+        result.requests += 1
+        result.dns_dc_counts[outcome.dns_dc_id] += 1
+        result.served_dc_counts[outcome.served_dc_id] += 1
+        if outcome.decision.causes:
+            for cause in outcome.decision.causes:
+                result.cause_counts[cause] += 1
+        else:
+            result.cause_counts["direct"] += 1
+        if len(result.startup_delay_samples) < _MAX_PERF_SAMPLES:
+            serving = outcome.decision.serving_server
+            rtt_ms = world.latency.min_rtt_ms(site, world.system.server_site(serving))
+            video_flow = outcome.events[len(outcome.decision.hops) - 1]
+            # Startup = redirect chain latency + one more RTT to first byte.
+            startup = (video_flow.t_start - request.t_s) + 2.0 * rtt_ms / 1000.0
+            result.startup_delay_samples.append(startup)
+            result.serving_rtt_samples.append(rtt_ms)
+        return outcome
+
+    def finish(self) -> SimulationResult:
+        """Close collection and return the populated result."""
+        self.result.dataset = self.monitor.finish(
+            self.world.spec.name, self.world.duration_s
+        )
+        return self.result
+
+
+def run_requests(
+    world: ScenarioWorld,
+    requests: Optional[Sequence[Request]] = None,
+    miss_probability: float = 0.002,
+) -> SimulationResult:
+    """Run a request stream through the world and collect the trace.
+
+    Args:
+        world: The built scenario world.
+        requests: Request stream; generated from the world's generator when
+            omitted.
+        miss_probability: Monitor classification-miss probability.
+
+    Returns:
+        The :class:`SimulationResult` with the dataset and ground truth.
+    """
+    if requests is None:
+        requests = world.generator.generate(world.duration_s)
+    processor = RequestProcessor(world, miss_probability=miss_probability)
+    for request in requests:
+        processor.process(request)
+    return processor.finish()

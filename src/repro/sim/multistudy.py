@@ -1,0 +1,335 @@
+"""Shared-world studies: all five vantage points against one CDN.
+
+The paper's datasets were collected *simultaneously*: five monitors
+watching the same production CDN in the same week.  Per-scenario worlds
+(:func:`repro.sim.scenarios.build_world`) are cheap and independent — the
+right tool for most analyses — but a shared world lets the vantage points
+*interact*: they draw from one catalog, warm the same pull-through caches,
+and compete for the same server capacity.
+
+:func:`build_shared_worlds` constructs one CDN plus a
+:class:`~repro.sim.scenarios.ScenarioWorld` facade per dataset, and
+:func:`run_shared` pushes the merged, time-ordered request stream through
+it, producing per-dataset results that drop into
+:class:`~repro.core.pipeline.StudyPipeline` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
+from repro.cdn.cluster import CdnSystem
+from repro.cdn.datacenter import DataCenter, DataCenterDirectory, build_datacenter
+from repro.cdn.redirection import RedirectionEngine
+from repro.cdn.selection import PreferredDcPolicy
+from repro.cdn.store import ContentPlacement
+from repro.geo.cities import default_atlas
+from repro.net.asn import AsRegistry, CW_ASN, GBLX_ASN, GOOGLE_ASN, YOUTUBE_EU_ASN
+from repro.net.dns import AuthoritativeServer, LocalResolver
+from repro.net.ip import Ipv4Allocator, parse_network
+from repro.net.latency import LatencyModel, Site
+from repro.net.topology import Subnet, VantagePoint
+from repro.sim.engine import RequestProcessor, SimulationResult
+from repro.sim.scenarios import (
+    DATASET_NAMES,
+    GOOGLE_DC_PLAN,
+    LEGACY_DC_PLAN,
+    PAPER_SCENARIOS,
+    THIRD_PARTY_DC_PLAN,
+    ScenarioSpec,
+    ScenarioWorld,
+    _slug,
+)
+from repro.sim.seeding import derive_seed
+from repro.trace.records import WEEK_S
+from repro.workload.clients import build_population
+from repro.workload.interactions import InteractionModel
+from repro.workload.requests import Request, RequestGenerator
+
+
+def build_shared_worlds(
+    scale: float = 0.02,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    names: Sequence[str] = DATASET_NAMES,
+) -> Dict[str, ScenarioWorld]:
+    """Build one CDN and a world facade per dataset.
+
+    Args:
+        scale: Traffic scale applied to every dataset.
+        seed: Master seed (component sub-seeds match the per-scenario
+            builder, so workloads are comparable across modes).
+        duration_s: Simulation window.
+        names: Datasets to include.
+
+    Returns:
+        Mapping dataset name → its :class:`ScenarioWorld`; all entries
+        share the same ``system``, ``registry`` and ``latency``.
+
+    Raises:
+        KeyError: For unknown dataset names.
+        ValueError: For a non-positive scale.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    specs: List[ScenarioSpec] = []
+    for name in names:
+        spec = PAPER_SCENARIOS.get(name)
+        if spec is None:
+            raise KeyError(f"unknown dataset {name!r}")
+        specs.append(spec)
+    atlas = default_atlas()
+
+    # ----------------------------------------------------------- registry
+    registry = AsRegistry()
+    registry.register_as(GOOGLE_ASN, "Google Inc.")
+    registry.register_as(YOUTUBE_EU_ASN, "YouTube-EU")
+    registry.register_as(CW_ASN, "Cable&Wireless")
+    registry.register_as(GBLX_ASN, "Global Crossing")
+    for spec in specs:
+        # Two vantage points can share an AS (EU1-ADSL and EU1-FTTH are
+        # PoPs of the same ISP); first registration names it.
+        if not registry.has_as(spec.vantage_asn):
+            registry.register_as(spec.vantage_asn, f"{spec.name} host network")
+
+    google_alloc = Ipv4Allocator(
+        (parse_network("173.194.0.0/15"), parse_network("74.125.0.0/16"))
+    )
+    legacy_alloc = Ipv4Allocator((parse_network("208.65.152.0/21"),))
+    third_alloc = Ipv4Allocator((parse_network("195.50.0.0/20"),))
+    isp_alloc = Ipv4Allocator((parse_network("81.200.0.0/18"),))
+
+    # --------------------------------------------------------- data centers
+    google_dcs = [
+        build_datacenter(f"dc-{_slug(city)}", atlas.get(city), size, google_alloc, GOOGLE_ASN)
+        for city, size in GOOGLE_DC_PLAN
+    ]
+    internal_dc: Optional[DataCenter] = None
+    internal_owner: Optional[ScenarioSpec] = next(
+        (spec for spec in specs if spec.internal_dc), None
+    )
+    if internal_owner is not None:
+        internal_dc = build_datacenter(
+            dc_id="dc-eu2-internal",
+            city=atlas.get(internal_owner.vantage_city),
+            num_servers=32,
+            allocator=isp_alloc,
+            asn=internal_owner.vantage_asn,
+        )
+    legacy_dcs = [
+        build_datacenter(f"legacy-{_slug(city)}", atlas.get(city), size,
+                         legacy_alloc, YOUTUBE_EU_ASN)
+        for city, size in LEGACY_DC_PLAN
+    ]
+    third_party_dcs = [
+        build_datacenter(f"3p-{label}-{_slug(city)}", atlas.get(city), size,
+                         third_alloc, CW_ASN if label == "cw" else GBLX_ASN)
+        for city, label, size in THIRD_PARTY_DC_PLAN
+    ]
+    ranked_dcs: List[DataCenter] = list(google_dcs)
+    if internal_dc is not None:
+        ranked_dcs.append(internal_dc)
+    directory = DataCenterDirectory(ranked_dcs + legacy_dcs + third_party_dcs)
+    for dc in ranked_dcs + legacy_dcs + third_party_dcs:
+        for network in dc.networks:
+            registry.announce(network, dc.asn)
+
+    # ------------------------------------------------------------ latencies
+    detours: Dict[Tuple[str, str], float] = {}
+    for spec in PAPER_SCENARIOS.values():
+        spec_group = f"vp:{spec.name}"
+        for dc_id, detour_ms in spec.detour_pins:
+            detours[(spec_group, dc_id)] = detour_ms
+        if spec.internal_dc:
+            detours[(spec_group, "dc-eu2-internal")] = 0.0
+    latency = LatencyModel(seed=derive_seed(seed, "latency"), detour_overrides=detours)
+
+    # --------------------------------------- rankings, caps, and capacities
+    rankings: Dict[str, Sequence[str]] = {}
+    dns_caps: Dict[str, float] = {}
+    preferred_demand: Dict[str, float] = {}
+    spec_rankings: Dict[str, List[str]] = {}
+    for spec in specs:
+        probe = Site(
+            key=f"vp:{spec.name}",
+            point=atlas.get(spec.vantage_city).point,
+            access=spec.access,
+            extra_ms=spec.egress_ms,
+            group=f"vp:{spec.name}",
+        )
+
+        def dc_rtt(dc: DataCenter) -> float:
+            return latency.min_rtt_ms(probe, dc.server_site(dc.servers[0]))
+
+        # Eligible data centers: every Google one, plus the in-ISP data
+        # center for the ISP's own customers only.
+        eligible = [
+            dc for dc in ranked_dcs
+            if dc is not internal_dc or spec.internal_dc
+        ]
+        ranked_ids = [dc.dc_id for dc in sorted(eligible, key=dc_rtt)]
+        spec_rankings[spec.name] = ranked_ids
+        mean_hourly = spec.requests_per_day * scale / 24.0
+        preferred_demand[ranked_ids[0]] = preferred_demand.get(ranked_ids[0], 0.0) + mean_hourly
+        for subnet_spec in spec.subnets:
+            resolver_id = f"{spec.name}/{subnet_spec.name}"
+            if subnet_spec.divergent_resolver:
+                rankings[resolver_id] = [ranked_ids[1], ranked_ids[0]] + ranked_ids[2:]
+            else:
+                rankings[resolver_id] = list(ranked_ids)
+        if spec.internal_dc and internal_dc is not None:
+            dns_caps[internal_dc.dc_id] = max(
+                2.0, spec.internal_dc_cap_of_mean * mean_hourly
+            )
+
+    # Per-server capacity: preferred data centers are sized against the
+    # demand homed on them; everything else gets the median of those caps.
+    caps: Dict[str, float] = {}
+    for dc in ranked_dcs:
+        demand = preferred_demand.get(dc.dc_id)
+        if demand is not None:
+            multiple = max(spec.server_capacity_multiple for spec in specs)
+            caps[dc.dc_id] = multiple * demand / dc.size + 4.0
+    default_cap = sorted(caps.values())[len(caps) // 2] if caps else 10.0
+    for dc in ranked_dcs:
+        dc.server_capacity_per_hour = caps.get(dc.dc_id, default_cap)
+
+    # -------------------------------------------------- shared CDN system
+    total_rpd = sum(spec.requests_per_day for spec in specs) * scale
+    weeks = max(1.0, duration_s / WEEK_S)
+    catalog = VideoCatalog(
+        size=max(500, int(0.6 * total_rpd * 7 * weeks)),
+        zipf_alpha=1.0,
+        seed=derive_seed(seed, "shared", "catalog"),
+        num_featured_days=max(1, int(duration_s // 86400.0)),
+        featured_share=0.10,
+    )
+    placement = ContentPlacement(
+        catalog=catalog,
+        dc_ids=[dc.dc_id for dc in ranked_dcs],
+        replicated_mass=0.75,
+        regional_presence_prob=0.8,
+    )
+    redirection = RedirectionEngine(
+        directory=directory,
+        placement=placement,
+        rebalance_probability=0.14,
+        origin_fetch_probability=0.35,
+        seed=derive_seed(seed, "shared", "redirection"),
+    )
+    policy = PreferredDcPolicy(
+        directory=directory,
+        rankings=rankings,
+        dns_capacity_per_hour=dns_caps,
+        spill_probability=max(spec.spill_probability for spec in specs),
+        seed=derive_seed(seed, "shared", "policy"),
+    )
+    system = CdnSystem(
+        catalog=catalog,
+        directory=directory,
+        placement=placement,
+        policy=policy,
+        redirection=redirection,
+        latency=latency,
+        num_shards=DEFAULT_NUM_SHARDS,
+        legacy_dcs=legacy_dcs,
+        third_party_dcs=third_party_dcs,
+        legacy_probability=0.06,
+        third_party_probability=0.008,
+    )
+    authoritative = AuthoritativeServer(mapper=policy)
+
+    # --------------------------------------------------- per-dataset worlds
+    worlds: Dict[str, ScenarioWorld] = {}
+    for spec in specs:
+        subnet_networks = list(parse_network(spec.client_block).subnets(18))
+        subnets = [
+            Subnet(
+                name=subnet_spec.name,
+                network=subnet_networks[i],
+                resolver=LocalResolver(
+                    resolver_id=f"{spec.name}/{subnet_spec.name}",
+                    authoritative=authoritative,
+                ),
+                client_share=subnet_spec.client_share,
+            )
+            for i, subnet_spec in enumerate(spec.subnets)
+        ]
+        vantage = VantagePoint(
+            name=spec.name,
+            city=atlas.get(spec.vantage_city),
+            access=spec.access,
+            egress_ms=spec.egress_ms,
+            subnets=subnets,
+            asn=spec.vantage_asn,
+        )
+        population = build_population(
+            vantage,
+            max(40, int(spec.num_clients * scale)),
+            seed=derive_seed(seed, spec.name, "clients"),
+        )
+        generator = RequestGenerator(
+            population=population,
+            catalog=catalog,
+            profile=spec.diurnal_profile(),
+            requests_per_day=spec.requests_per_day * scale,
+            interactions=InteractionModel(),
+            seed=derive_seed(seed, spec.name, "workload"),
+        )
+        worlds[spec.name] = ScenarioWorld(
+            spec=spec,
+            scale=scale,
+            seed=seed,
+            system=system,
+            vantage=vantage,
+            population=population,
+            generator=generator,
+            registry=registry,
+            latency=latency,
+            google_dc_ids=spec_rankings[spec.name],
+            internal_dc_id=None if internal_dc is None else internal_dc.dc_id,
+            duration_s=duration_s,
+        )
+    return worlds
+
+
+def run_shared(worlds: Dict[str, ScenarioWorld]) -> Dict[str, SimulationResult]:
+    """Run the merged request stream through the shared CDN.
+
+    Requests from every vantage point are interleaved in global time order,
+    so DNS budgets, server loads and pull-through caches see the causal
+    order a real shared week would produce.
+
+    Returns:
+        Per-dataset :class:`SimulationResult`, pipeline-compatible.
+
+    Raises:
+        ValueError: If the worlds do not share one system.
+    """
+    if not worlds:
+        raise ValueError("no worlds to run")
+    systems = {id(world.system) for world in worlds.values()}
+    if len(systems) != 1:
+        raise ValueError("run_shared needs worlds sharing one CdnSystem")
+
+    tagged: List[Tuple[float, str, Request]] = []
+    for name, world in worlds.items():
+        for request in world.generator.generate(world.duration_s):
+            tagged.append((request.t_s, name, request))
+    tagged.sort(key=lambda item: item[0])
+
+    processors = {name: RequestProcessor(world) for name, world in worlds.items()}
+    for _, name, request in tagged:
+        processors[name].process(request)
+    return {name: processor.finish() for name, processor in processors.items()}
+
+
+def run_shared_study(
+    scale: float = 0.02,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    names: Sequence[str] = DATASET_NAMES,
+) -> Dict[str, SimulationResult]:
+    """Build the shared world and run the whole study in one call."""
+    return run_shared(build_shared_worlds(scale, seed, duration_s, names))

@@ -1,0 +1,27 @@
+"""Trace collection: the Tstat-like edge monitor and its flow-log format.
+
+The paper's datasets are "flow-level logs where each line reports a set of
+statistics related to each YouTube video flow. Among other metrics, the
+source and destination IP addresses, the total number of bytes, the starting
+and ending time and both the VideoID and the resolution of the video
+requested are available" (Section III-B).  This package reproduces that
+schema and the passive monitor that fills it.
+"""
+
+from repro.trace.records import Dataset, FlowRecord
+from repro.trace.monitor import EdgeMonitor
+from repro.trace.logio import read_flow_log, write_flow_log
+from repro.trace.anonymize import PrefixPreservingAnonymizer
+from repro.trace.adapters import ColumnMapping, ImportResult, import_flow_log
+
+__all__ = [
+    "Dataset",
+    "FlowRecord",
+    "EdgeMonitor",
+    "read_flow_log",
+    "write_flow_log",
+    "PrefixPreservingAnonymizer",
+    "ColumnMapping",
+    "ImportResult",
+    "import_flow_log",
+]

@@ -1,0 +1,76 @@
+"""The Tstat-like passive edge monitor.
+
+Sits at the vantage point's edge, observes every flow the hosted clients
+exchange with the outside, classifies YouTube video traffic and appends
+flow records.  Classification fidelity is modelled too: a tiny fraction of
+flows is missed (DPI on sampled/encrypted/teardown-truncated connections is
+never perfect), so analysis code cannot assume it sees literally every flow
+of a session.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.cdn.cluster import FlowEvent
+from repro.net.topology import VantagePoint
+from repro.trace.records import Dataset, FlowRecord
+
+
+class EdgeMonitor:
+    """Collects a :class:`~repro.trace.records.Dataset` at one vantage point.
+
+    Args:
+        vantage: The monitored network.
+        miss_probability: Chance an individual flow escapes classification.
+        seed: RNG seed for the miss process.
+    """
+
+    def __init__(self, vantage: VantagePoint, miss_probability: float = 0.002, seed: int = 0):
+        if not 0.0 <= miss_probability < 1.0:
+            raise ValueError("miss_probability must be in [0, 1)")
+        self._vantage = vantage
+        self._miss_probability = miss_probability
+        self._rng = random.Random(seed)
+        self._records: List[FlowRecord] = []
+        self.observed = 0
+        self.missed = 0
+
+    def observe(self, event: FlowEvent) -> Optional[FlowRecord]:
+        """Observe one flow crossing the edge; record it unless missed."""
+        self.observed += 1
+        if self._miss_probability and self._rng.random() < self._miss_probability:
+            self.missed += 1
+            return None
+        record = FlowRecord(
+            src_ip=event.client_ip,
+            dst_ip=event.server_ip,
+            num_bytes=event.num_bytes,
+            t_start=event.t_start,
+            t_end=event.t_end,
+            video_id=event.video_id,
+            resolution=event.resolution,
+        )
+        self._records.append(record)
+        return record
+
+    def observe_all(self, events: Iterable[FlowEvent]) -> None:
+        """Observe a batch of flows."""
+        for event in events:
+            self.observe(event)
+
+    def finish(self, name: str, duration_s: float) -> Dataset:
+        """Close collection and return the dataset (records time-sorted)."""
+        self._records.sort(key=lambda r: (r.t_start, r.t_end))
+        return Dataset(
+            name=name,
+            vantage=self._vantage,
+            records=list(self._records),
+            duration_s=duration_s,
+        )
+
+    @property
+    def record_count(self) -> int:
+        """Records collected so far."""
+        return len(self._records)

@@ -1,0 +1,117 @@
+"""Parameter sweeps: dose-response curves over a scenario knob.
+
+Where :mod:`repro.whatif.compare` contrasts discrete variants, a sweep
+varies one :class:`~repro.sim.scenarios.ScenarioSpec` field over a value
+grid and traces how a metric responds — e.g. how EU2's local-serve share
+falls as the in-ISP data center's DNS budget shrinks, or how the miss rate
+rises as regional replication thins out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.reporting.series import Series
+from repro.sim.driver import run_spec
+from repro.sim.engine import SimulationResult
+from repro.sim.scenarios import PAPER_SCENARIOS, ScenarioSpec
+from repro.trace.records import WEEK_S
+from repro.whatif.metrics import ScenarioMetrics, extract_metrics
+
+#: A metric extractor: simulation result → one number.
+MetricFn = Callable[[SimulationResult], float]
+
+
+@dataclass
+class SweepResult:
+    """One sweep's outcome.
+
+    Attributes:
+        scenario_name: The swept scenario.
+        parameter: The swept spec field.
+        values: Grid values, in input order.
+        metrics: Full metric rows per grid point.
+    """
+
+    scenario_name: str
+    parameter: str
+    values: List[float] = field(default_factory=list)
+    metrics: List[ScenarioMetrics] = field(default_factory=list)
+
+    def series(self, metric: str) -> Series:
+        """One metric as a (parameter value, metric value) series.
+
+        Args:
+            metric: A :class:`~repro.whatif.metrics.ScenarioMetrics`
+                attribute name.
+
+        Raises:
+            AttributeError: For unknown metric names.
+        """
+        series = Series(label=f"{self.scenario_name}: {metric} vs {self.parameter}")
+        for value, row in zip(self.values, self.metrics):
+            series.append(float(value), float(getattr(row, metric)))
+        return series
+
+    def monotone_direction(self, metric: str) -> int:
+        """+1 if the metric only rises along the grid, -1 if it only
+        falls, 0 otherwise (useful for asserting dose-response shape)."""
+        ys = self.series(metric).ys
+        rising = all(b >= a for a, b in zip(ys, ys[1:]))
+        falling = all(b <= a for a, b in zip(ys, ys[1:]))
+        if rising and not falling:
+            return 1
+        if falling and not rising:
+            return -1
+        return 0
+
+
+def sweep_parameter(
+    scenario_name: str,
+    parameter: str,
+    values: Sequence[float],
+    scale: float = 0.008,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    policy_kind: str = "preferred",
+) -> SweepResult:
+    """Sweep one spec field over a value grid.
+
+    Args:
+        scenario_name: One of the paper scenarios.
+        parameter: The :class:`ScenarioSpec` field to vary (must exist).
+        values: Grid values (assigned verbatim to the field).
+        scale: Traffic scale per grid point.
+        seed: Shared master seed (the workload is identical across points;
+            only the swept knob differs).
+        duration_s: Simulation window.
+        policy_kind: Selection policy for every grid point.
+
+    Returns:
+        The :class:`SweepResult`.
+
+    Raises:
+        KeyError: For unknown scenarios.
+        ValueError: For unknown spec fields or an empty grid.
+    """
+    spec = PAPER_SCENARIOS.get(scenario_name)
+    if spec is None:
+        raise KeyError(f"unknown scenario {scenario_name!r}")
+    if not values:
+        raise ValueError("empty sweep grid")
+    field_names = {f.name for f in dataclasses.fields(ScenarioSpec)}
+    if parameter not in field_names:
+        raise ValueError(f"ScenarioSpec has no field {parameter!r}")
+
+    result = SweepResult(scenario_name=scenario_name, parameter=parameter)
+    for value in values:
+        point_spec = dataclasses.replace(spec, **{parameter: value})
+        run = run_spec(
+            point_spec, scale=scale, seed=seed, duration_s=duration_s,
+            policy_kind=policy_kind,
+        )
+        result.values.append(float(value))
+        result.metrics.append(extract_metrics(run, label=f"{parameter}={value}"))
+    return result

@@ -1,0 +1,139 @@
+"""Scenario variants: controlled perturbations of a baseline world.
+
+A variant is a named transformation of a :class:`ScenarioSpec` (plus an
+optional policy switch).  The standard library below covers the design
+dimensions DESIGN.md calls out for ablation and the paper's own what-if
+motivations: selection policy, data-center capacity, popularity shape,
+content availability, and flash crowds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.sim.scenarios import ScenarioSpec
+
+SpecTransform = Callable[[ScenarioSpec], ScenarioSpec]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One named what-if scenario.
+
+    Attributes:
+        name: Short identifier (``"old-policy"``).
+        description: One-line human explanation.
+        transform: Spec transformation (identity for policy-only variants).
+        policy_kind: Selection policy for the variant's world.
+    """
+
+    name: str
+    description: str
+    transform: SpecTransform
+    policy_kind: str = "preferred"
+
+    def apply(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """The variant's spec, derived from a baseline spec."""
+        return self.transform(spec)
+
+
+def _identity(spec: ScenarioSpec) -> ScenarioSpec:
+    return spec
+
+
+def _replace(**changes) -> SpecTransform:
+    def transform(spec: ScenarioSpec) -> ScenarioSpec:
+        return dataclasses.replace(spec, **changes)
+
+    return transform
+
+
+def baseline_variant() -> Variant:
+    """The unmodified scenario, for reference rows."""
+    return Variant(name="baseline", description="unmodified scenario", transform=_identity)
+
+
+def standard_variants() -> List[Variant]:
+    """The standard what-if library.
+
+    Returns:
+        Variants covering the ablation dimensions: selection policy,
+        capacity, popularity shape, availability, and demand spikes.
+    """
+    return [
+        baseline_variant(),
+        Variant(
+            name="old-policy",
+            description="pre-Google selection: data centers by size, no locality",
+            transform=_identity,
+            policy_kind="proportional",
+        ),
+        Variant(
+            name="double-capacity",
+            description="double per-server serve capacity (hot-spots absorbed locally)",
+            transform=_replace(server_capacity_multiple=12.0),
+        ),
+        Variant(
+            name="half-capacity",
+            description="halve per-server serve capacity (more overflow redirection)",
+            transform=_replace(server_capacity_multiple=3.0),
+        ),
+        Variant(
+            name="flash-crowd",
+            description="the daily featured video absorbs 25% of requests",
+            transform=_replace(featured_share=0.25),
+        ),
+        Variant(
+            name="flat-popularity",
+            description="flatter popularity (zipf alpha 0.6): a longer effective tail",
+            transform=_replace(zipf_alpha=0.6),
+        ),
+        Variant(
+            name="sparse-replication",
+            description="tail content rarely pre-positioned (regional presence 0.3)",
+            transform=_replace(regional_presence_prob=0.3),
+        ),
+        Variant(
+            name="no-spill",
+            description="DNS never load-balances away from the preferred data center",
+            transform=_replace(spill_probability=0.0),
+        ),
+        Variant(
+            name="tiny-edge-cache",
+            description="edge caches hold only 25 pulled-through tail videos (LRU)",
+            transform=_replace(cache_capacity=25, regional_presence_prob=0.3),
+        ),
+        Variant(
+            name="geo-policy",
+            description="idealised selection by geographic distance instead of RTT",
+            transform=_identity,
+            policy_kind="geographic",
+        ),
+        Variant(
+            name="sticky-dns",
+            description="resolvers cache answers for 30 min: DNS-level control "
+                        "coarsens and the app layer picks up the slack",
+            transform=_replace(dns_cache_enabled=True, dns_ttl_s=1800.0),
+        ),
+        Variant(
+            name="preferred-outage",
+            description="the preferred data center is drained at the DNS level "
+                        "(maintenance): everything lands one rank down",
+            transform=_replace(drain_preferred=True),
+        ),
+    ]
+
+
+def variant_by_name(name: str) -> Variant:
+    """Look up a standard variant.
+
+    Raises:
+        KeyError: For unknown variant names.
+    """
+    for variant in standard_variants():
+        if variant.name == name:
+            return variant
+    raise KeyError(f"unknown variant {name!r}; known: "
+                   f"{[v.name for v in standard_variants()]}")

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+The expensive objects — a simulated five-dataset week and the analysis
+pipeline over it — are session-scoped: every integration test reads the
+same simulated traces, exactly like the paper's authors analysing one set
+of collected traces many times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+from repro.sim.driver import run_all, run_scenario
+from repro.sim.scenarios import PAPER_SCENARIOS, build_world
+
+#: Volume scale for the shared week (≈2 % of paper traffic: all shapes
+#: survive, and the whole suite simulates in a few seconds).
+TEST_SCALE = 0.02
+TEST_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def study_results():
+    """The five simulated datasets (shared across the whole session)."""
+    return run_all(scale=TEST_SCALE, seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def pipeline(study_results):
+    """The analysis pipeline over the shared datasets.
+
+    Uses a 60-landmark CBG budget: calibration stays fast and accuracy is
+    still tens of kilometres.
+    """
+    return StudyPipeline(study_results, landmark_count=60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def eu1_adsl(study_results):
+    """The EU1-ADSL simulation result (hot-spot analyses focus on it)."""
+    return study_results["EU1-ADSL"]
+
+
+@pytest.fixture(scope="session")
+def us_campus(study_results):
+    """The US-Campus simulation result."""
+    return study_results["US-Campus"]
+
+
+@pytest.fixture(scope="session")
+def eu2(study_results):
+    """The EU2 simulation result (DNS load-balancing analyses)."""
+    return study_results["EU2"]
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A very small standalone world for unit tests needing CDN machinery."""
+    return build_world(PAPER_SCENARIOS["EU1-FTTH"], scale=0.004, seed=3)

@@ -1,0 +1,129 @@
+"""Tests for the assembled CDN's request handling."""
+
+import random
+
+import pytest
+
+from repro.cdn.catalog import Resolution
+from repro.cdn.cluster import KIND_CONTROL, KIND_VIDEO
+from repro.core.flows import CONTROL_FLOW_THRESHOLD_BYTES
+
+
+@pytest.fixture
+def request_env(tiny_world):
+    world = tiny_world
+    client = next(iter(world.population))
+    site = world.vantage.client_site(client.ip)
+    resolver = world.vantage.resolver_for(client.ip)
+    return world, client, site, resolver
+
+
+def handle(world, client, site, resolver, video, t=1000.0, rng_seed=0, **kw):
+    rng = random.Random(rng_seed)
+    return world.system.handle_request(
+        client_ip=client.ip,
+        client_site=site,
+        resolver=resolver,
+        video=video,
+        resolution=Resolution.R360,
+        t_s=t,
+        rng=rng,
+        **kw,
+    )
+
+
+class TestHandleRequest:
+    def test_ends_with_video_flow(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(0)
+        outcome = handle(world, client, site, resolver, video)
+        main = [e for e in outcome.events if e.kind in (KIND_CONTROL, KIND_VIDEO)]
+        assert main[-1].kind == KIND_VIDEO
+        assert all(e.kind == KIND_CONTROL for e in main[:-1])
+
+    def test_control_flows_below_threshold(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(0)
+        for seed in range(20):
+            outcome = handle(world, client, site, resolver, video, rng_seed=seed)
+            for event in outcome.events:
+                if event.kind == KIND_CONTROL:
+                    assert event.num_bytes < CONTROL_FLOW_THRESHOLD_BYTES
+                else:
+                    assert event.num_bytes >= CONTROL_FLOW_THRESHOLD_BYTES
+
+    def test_session_gap_below_one_second(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(0)
+        for seed in range(30):
+            outcome = handle(world, client, site, resolver, video, rng_seed=seed)
+            main = [e for e in outcome.events if e.kind in (KIND_CONTROL, KIND_VIDEO)]
+            for first, second in zip(main, main[1:]):
+                assert second.t_start - first.t_end < 1.0
+                assert second.t_start > first.t_start
+
+    def test_video_id_propagates(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(3)
+        outcome = handle(world, client, site, resolver, video)
+        main = [e for e in outcome.events if e.kind in (KIND_CONTROL, KIND_VIDEO)]
+        assert all(e.video_id == video.video_id for e in main)
+
+    def test_watch_fraction_override(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(0)
+        full = handle(world, client, site, resolver, video, watch_fraction=1.0)
+        tiny = handle(world, client, site, resolver, video, watch_fraction=0.05)
+        full_bytes = [e for e in full.events if e.kind == KIND_VIDEO][0].num_bytes
+        tiny_bytes = [e for e in tiny.events if e.kind == KIND_VIDEO][0].num_bytes
+        assert full_bytes > tiny_bytes
+
+    def test_served_dc_matches_decision(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(0)
+        outcome = handle(world, client, site, resolver, video)
+        assert outcome.served_dc_id == outcome.decision.serving_server.dc_id
+        assert outcome.dns_dc_id in world.google_dc_ids
+
+    def test_dns_lands_on_preferred_mostly(self, request_env):
+        world, client, site, resolver = request_env
+        ranking = world.system.policy.ranking_for(resolver.resolver_id)
+        video = world.system.catalog.by_rank(0)
+        hits = 0
+        for seed in range(40):
+            outcome = handle(world, client, site, resolver, video, rng_seed=seed)
+            if outcome.dns_dc_id == ranking[0]:
+                hits += 1
+        assert hits >= 30
+
+    def test_flow_timestamps_positive_duration(self, request_env):
+        world, client, site, resolver = request_env
+        video = world.system.catalog.by_rank(1)
+        outcome = handle(world, client, site, resolver, video)
+        for event in outcome.events:
+            assert event.t_end > event.t_start
+
+
+class TestAssetFlows:
+    def test_legacy_assets_appear(self, tiny_world):
+        world = tiny_world
+        client = next(iter(world.population))
+        site = world.vantage.client_site(client.ip)
+        resolver = world.vantage.resolver_for(client.ip)
+        video = world.system.catalog.by_rank(0)
+        rng = random.Random(0)
+        asset_events = []
+        for _ in range(300):
+            outcome = world.system.handle_request(
+                client_ip=client.ip, client_site=site, resolver=resolver,
+                video=video, resolution=Resolution.R360, t_s=0.0, rng=rng,
+            )
+            asset_events.extend(e for e in outcome.events if e.kind == "asset")
+        # legacy_probability + third_party_probability per request.
+        assert len(asset_events) > 3
+        # Asset servers are outside the ranked data centers.
+        ranked_servers = {
+            s.ip for dc_id in world.google_dc_ids
+            for s in world.system.directory.get(dc_id).servers
+        }
+        assert all(e.server_ip not in ranked_servers for e in asset_events)

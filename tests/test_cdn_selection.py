@@ -1,0 +1,133 @@
+"""Tests for the DNS-level selection policies."""
+
+import pytest
+
+from repro.cdn.datacenter import DataCenterDirectory, build_datacenter
+from repro.cdn.selection import (
+    PreferredDcPolicy,
+    ProportionalPolicy,
+    parse_shard,
+)
+from repro.geo.cities import default_atlas
+from repro.net.asn import GOOGLE_ASN
+from repro.net.ip import Ipv4Allocator, parse_network
+
+
+@pytest.fixture
+def directory():
+    atlas = default_atlas()
+    alloc = Ipv4Allocator((parse_network("173.194.0.0/16"),))
+    dcs = [
+        build_datacenter("dc-a", atlas.get("Milan"), 10, alloc, GOOGLE_ASN),
+        build_datacenter("dc-b", atlas.get("Zurich"), 20, alloc, GOOGLE_ASN),
+        build_datacenter("dc-c", atlas.get("Paris"), 40, alloc, GOOGLE_ASN),
+    ]
+    return DataCenterDirectory(dcs)
+
+
+RANKINGS = {"r1": ["dc-a", "dc-b", "dc-c"], "r2": ["dc-b", "dc-a", "dc-c"]}
+
+
+class TestParseShard:
+    def test_valid(self):
+        assert parse_shard("v17.lscache.youtube.sim") == 17
+
+    @pytest.mark.parametrize("bad", ["lscache.x", "vx.y", "17.x", "v.y"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard(bad)
+
+
+class TestPreferredPolicy:
+    def test_preferred_wins_without_pressure(self, directory):
+        policy = PreferredDcPolicy(directory, RANKINGS, seed=1)
+        for _ in range(50):
+            assert policy.select_dc("r1", 0.0) == "dc-a"
+
+    def test_per_resolver_rankings(self, directory):
+        policy = PreferredDcPolicy(directory, RANKINGS, seed=1)
+        assert policy.preferred_dc("r1") == "dc-a"
+        assert policy.preferred_dc("r2") == "dc-b"
+
+    def test_unknown_resolver_raises(self, directory):
+        policy = PreferredDcPolicy(directory, RANKINGS, seed=1)
+        with pytest.raises(KeyError):
+            policy.select_dc("r3", 0.0)
+        with pytest.raises(KeyError):
+            policy.ranking_for("r3")
+
+    def test_spill_probability(self, directory):
+        policy = PreferredDcPolicy(directory, RANKINGS, spill_probability=0.3, seed=2)
+        picks = [policy.select_dc("r1", 0.0) for _ in range(2000)]
+        spill = sum(1 for p in picks if p != "dc-a") / len(picks)
+        assert 0.2 < spill < 0.4
+        # Spill lands on nearby alternates, mostly the second choice.
+        assert picks.count("dc-b") > picks.count("dc-c")
+
+    def test_capacity_spillover(self, directory):
+        policy = PreferredDcPolicy(
+            directory, RANKINGS, dns_capacity_per_hour={"dc-a": 10.0}, seed=3
+        )
+        picks = [policy.select_dc("r1", 100.0) for _ in range(50)]
+        assert picks[:10] == ["dc-a"] * 10
+        assert all(p == "dc-b" for p in picks[10:])
+
+    def test_capacity_resets_each_hour(self, directory):
+        policy = PreferredDcPolicy(
+            directory, RANKINGS, dns_capacity_per_hour={"dc-a": 5.0}, seed=4
+        )
+        for _ in range(10):
+            policy.select_dc("r1", 0.0)
+        assert policy.select_dc("r1", 3700.0) == "dc-a"
+
+    def test_cascading_capacity(self, directory):
+        policy = PreferredDcPolicy(
+            directory,
+            RANKINGS,
+            dns_capacity_per_hour={"dc-a": 2.0, "dc-b": 2.0},
+            seed=5,
+        )
+        picks = [policy.select_dc("r1", 0.0) for _ in range(6)]
+        assert picks == ["dc-a", "dc-a", "dc-b", "dc-b", "dc-c", "dc-c"]
+
+    def test_map_name_returns_shard_server(self, directory):
+        policy = PreferredDcPolicy(directory, RANKINGS, seed=6)
+        answer = policy.map_name("v7.lscache.youtube.sim", "r1", 0.0)
+        dc = directory.get("dc-a")
+        assert answer.ip == dc.server_by_index(7 % dc.size).ip
+        assert policy.assignments["dc-a"] == 1
+
+    def test_validation(self, directory):
+        with pytest.raises(ValueError):
+            PreferredDcPolicy(directory, {})
+        with pytest.raises(ValueError):
+            PreferredDcPolicy(directory, {"r": ["dc-a"]})
+        with pytest.raises(ValueError):
+            PreferredDcPolicy(directory, RANKINGS, spill_probability=1.0)
+
+
+class TestProportionalPolicy:
+    def test_distribution_follows_size(self, directory):
+        policy = ProportionalPolicy(directory, seed=1)
+        picks = [policy.select_dc("anyone", 0.0) for _ in range(7000)]
+        share_c = picks.count("dc-c") / len(picks)
+        share_a = picks.count("dc-a") / len(picks)
+        assert share_c == pytest.approx(40 / 70, abs=0.05)
+        assert share_a == pytest.approx(10 / 70, abs=0.04)
+
+    def test_ignores_resolver(self, directory):
+        policy = ProportionalPolicy(directory, seed=2)
+        assert policy.ranking_for("x") == policy.ranking_for("y")
+
+    def test_ranking_by_size(self, directory):
+        policy = ProportionalPolicy(directory, seed=3)
+        assert policy.ranking_for("any") == ["dc-c", "dc-b", "dc-a"]
+
+    def test_eligible_subset(self, directory):
+        policy = ProportionalPolicy(directory, eligible=["dc-a", "dc-b"], seed=4)
+        picks = {policy.select_dc("x", 0.0) for _ in range(200)}
+        assert picks <= {"dc-a", "dc-b"}
+
+    def test_empty_eligible_rejected(self, directory):
+        with pytest.raises(ValueError):
+            ProportionalPolicy(directory, eligible=[])

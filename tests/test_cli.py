@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--out", "x.tsv"])
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--dataset", "Mars", "--out", "x.tsv"]
+            )
+
+
+class TestSimulateAndSessions:
+    def test_roundtrip(self, tmp_path):
+        log = tmp_path / "flows.tsv"
+        code, text = run_cli(
+            "simulate", "--dataset", "EU1-FTTH", "--scale", "0.003",
+            "--seed", "9", "--out", str(log),
+        )
+        assert code == 0
+        assert "wrote" in text
+        assert log.exists()
+
+        code, text = run_cli("sessions", "--flows", str(log), "--gaps", "1,300")
+        assert code == 0
+        assert "T=   1.0s" in text
+        assert "T= 300.0s" in text
+
+    def test_sessions_empty_log(self, tmp_path):
+        log = tmp_path / "empty.tsv"
+        log.write_text("#src\n")
+        code, text = run_cli("sessions", "--flows", str(log))
+        assert code == 1
+
+    def test_simulate_proportional_policy(self, tmp_path):
+        log = tmp_path / "old.tsv"
+        code, _ = run_cli(
+            "simulate", "--dataset", "EU1-FTTH", "--scale", "0.003",
+            "--policy", "proportional", "--out", str(log),
+        )
+        assert code == 0
+
+
+class TestAnonymize:
+    def test_anonymize_roundtrip(self, tmp_path):
+        log = tmp_path / "flows.tsv"
+        code, _ = run_cli(
+            "simulate", "--dataset", "EU1-FTTH", "--scale", "0.003",
+            "--seed", "9", "--out", str(log),
+        )
+        assert code == 0
+        out_log = tmp_path / "anon.tsv"
+        code, text = run_cli(
+            "anonymize", "--flows", str(log), "--out", str(out_log),
+            "--key", "secret",
+        )
+        assert code == 0
+        assert "anonymised" in text
+        from repro.trace import read_flow_log
+
+        original = read_flow_log(log)
+        anonymised = read_flow_log(out_log)
+        assert len(original) == len(anonymised)
+        assert {r.src_ip for r in original} != {r.src_ip for r in anonymised}
+        # Metrics untouched.
+        assert [r.num_bytes for r in original] == [r.num_bytes for r in anonymised]
+
+
+class TestComposite:
+    def test_study_summary(self):
+        code, text = run_cli("study", "--scale", "0.004", "--landmarks", "40")
+        assert code == 0
+        assert "TABLE I" in text and "TABLE III" in text
+        assert "preferred=" in text
+
+    def test_study_full_report(self):
+        code, text = run_cli(
+            "study", "--scale", "0.004", "--landmarks", "40", "--full"
+        )
+        assert code == 0
+        assert "FULL REPORT" in text
+        assert "Hot spots and cold content" in text
+
+    def test_study_with_validation(self):
+        code, text = run_cli(
+            "study", "--scale", "0.004", "--landmarks", "40", "--validate"
+        )
+        assert code == 0
+        assert "METHODOLOGY VALIDATION" in text
+
+    def test_coldvideo(self):
+        code, text = run_cli("coldvideo", "--nodes", "12", "--samples", "4",
+                             "--seed", "5")
+        assert code == 0
+        assert "ratio>1.2" in text
+
+    def test_sweep(self):
+        code, text = run_cli(
+            "sweep", "--dataset", "EU1-FTTH",
+            "--parameter", "spill_probability",
+            "--values", "0.0,0.1",
+            "--metrics", "preferred_share",
+            "--scale", "0.004",
+        )
+        assert code == 0
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert len(lines) == 3  # header + two grid points
+        first = float(lines[1].split()[-1])
+        second = float(lines[2].split()[-1])
+        assert first > second  # spill lowers the preferred share
+
+    def test_sweep_bad_parameter(self):
+        with pytest.raises(ValueError):
+            run_cli(
+                "sweep", "--dataset", "EU1-FTTH",
+                "--parameter", "warp_factor", "--values", "1",
+            )
+
+    def test_whatif_named_variants(self):
+        code, text = run_cli(
+            "whatif", "--dataset", "EU1-FTTH", "--scale", "0.004",
+            "--variants", "old-policy",
+        )
+        assert code == 0
+        assert "baseline" in text
+        assert "old-policy" in text

@@ -1,0 +1,74 @@
+"""Tests for trace characterisation."""
+
+import pytest
+
+from repro.core.characterize import (
+    characterize,
+    client_volume_cdf,
+    hourly_volume_series,
+    popularity_cdf,
+    top_share,
+    video_popularity,
+)
+from repro.trace.records import Dataset, FlowRecord
+
+
+def flow(src=1, vid="V" * 11, t0=0.0, nbytes=50_000):
+    return FlowRecord(src_ip=src, dst_ip=9, num_bytes=nbytes,
+                      t_start=t0, t_end=t0 + 1.0, video_id=vid, resolution="360p")
+
+
+class TestCounting:
+    def test_video_popularity_ignores_control_flows(self):
+        records = [flow(vid="A" * 11), flow(vid="A" * 11),
+                   flow(vid="B" * 11, nbytes=500)]
+        counts = video_popularity(records)
+        assert counts == {"A" * 11: 2}
+
+    def test_popularity_cdf(self):
+        records = [flow(vid="A" * 11)] * 3 + [flow(vid="B" * 11)]
+        cdf = popularity_cdf(records)
+        assert cdf.max == 3
+        assert cdf.min == 1
+
+    def test_popularity_cdf_empty(self):
+        with pytest.raises(ValueError):
+            popularity_cdf([flow(nbytes=100)])
+
+    def test_client_volume(self):
+        records = [flow(src=1, nbytes=100), flow(src=1, nbytes=200),
+                   flow(src=2, nbytes=1000)]
+        cdf = client_volume_cdf(records)
+        assert cdf.max == 1000
+        assert cdf.min == 300
+
+    def test_top_share(self):
+        counts = {f"v{i}": 1 for i in range(99)}
+        counts["hot"] = 101
+        assert top_share(counts, 0.01) == pytest.approx(101 / 200)
+        with pytest.raises(ValueError):
+            top_share({}, 0.01)
+        with pytest.raises(ValueError):
+            top_share(counts, 0.0)
+
+
+class TestOnSimulatedTrace:
+    def test_profile_shapes(self, eu1_adsl):
+        profile = characterize(eu1_adsl.dataset)
+        assert profile.distinct_videos > 1000
+        # Zipf tail: many videos requested exactly once.
+        assert profile.singleton_video_fraction > 0.4
+        # Head concentration: top 1 % of videos carries a large share.
+        assert profile.top_percentile_share > 0.03
+        assert profile.median_flow_bytes > 100_000
+        # Day/night pattern.
+        assert profile.peak_to_trough > 3.0
+
+    def test_hourly_series_length(self, eu1_adsl):
+        series = hourly_volume_series(eu1_adsl.dataset)
+        assert len(series) == eu1_adsl.dataset.num_hours
+        assert series.max_y() > 0
+
+    def test_heavy_client_skew(self, eu1_adsl):
+        cdf = client_volume_cdf(eu1_adsl.dataset.records)
+        assert cdf.quantile(0.95) > 4 * cdf.median

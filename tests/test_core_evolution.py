@@ -1,0 +1,85 @@
+"""Tests for the epoch-comparison analysis."""
+
+import pytest
+
+from repro.core.evolution import EpochDiff, compare_epochs
+from repro.core.pipeline import StudyPipeline
+from repro.core.preferred import DataCenterView, PreferredDcReport
+from repro.geoloc.clustering import DataCenterCluster
+from repro.geo.cities import default_atlas
+
+
+def make_report(name, preferred_city, rtt, share=0.9):
+    atlas = default_atlas()
+    cluster = DataCenterCluster(
+        cluster_id=f"cluster-{preferred_city.lower().replace(' ', '-')}",
+        city=atlas.get(preferred_city),
+        estimate=atlas.get(preferred_city).point,
+        confidence_radius_km=40.0,
+        server_ips=[1],
+    )
+    other = DataCenterCluster(
+        cluster_id="cluster-other",
+        city=atlas.get("Chicago"),
+        estimate=atlas.get("Chicago").point,
+        confidence_radius_km=40.0,
+        server_ips=[2],
+    )
+    views = [
+        DataCenterView(cluster=cluster, num_bytes=int(share * 1000),
+                       num_flows=9, min_rtt_ms=rtt, distance_km=100.0),
+        DataCenterView(cluster=other, num_bytes=int((1 - share) * 1000),
+                       num_flows=1, min_rtt_ms=rtt + 50.0, distance_km=900.0),
+    ]
+    return PreferredDcReport(
+        dataset_name=name, views=views,
+        preferred_id=cluster.cluster_id, total_bytes=1000,
+    )
+
+
+class TestDiff:
+    def test_unchanged(self):
+        a = make_report("US-Campus", "Dallas", 27.0)
+        b = make_report("US-Campus-Feb2011", "Dallas", 27.5)
+        diff = compare_epochs(a, b)
+        assert not diff.preferred_changed
+        assert not diff.left_rtt_optimum
+        assert "unchanged" in diff.render()
+
+    def test_moved_away_from_optimum(self):
+        a = make_report("US-Campus", "Dallas", 27.0)
+        b = make_report("US-Campus-Feb2011", "Mountain View", 105.0)
+        diff = compare_epochs(a, b)
+        assert diff.preferred_changed
+        assert diff.rtt_delta_ms == pytest.approx(78.0)
+        assert diff.left_rtt_optimum
+        assert "left the RTT optimum" in diff.render()
+
+    def test_different_vantages_rejected(self):
+        a = make_report("US-Campus", "Dallas", 27.0)
+        b = make_report("EU2", "Madrid", 16.0)
+        with pytest.raises(ValueError):
+            compare_epochs(a, b)
+
+
+class TestOnSimulatedEpochs:
+    def test_sep2010_vs_feb2011(self):
+        """The paper's longitudinal observation, end to end: two simulated
+        collection windows, two pipeline runs, one diff."""
+        from repro.sim.driver import run_scenario, run_spec
+        from repro.sim.scenarios import february_2011_us_campus
+
+        old_result = run_scenario("US-Campus", scale=0.008, seed=7)
+        new_result = run_spec(february_2011_us_campus(), scale=0.008, seed=7)
+        old_pipe = StudyPipeline({"US-Campus": old_result}, landmark_count=60)
+        new_pipe = StudyPipeline(
+            {"US-Campus-Feb2011": new_result}, landmark_count=60
+        )
+        diff = compare_epochs(
+            old_pipe.preferred_reports["US-Campus"],
+            new_pipe.preferred_reports["US-Campus-Feb2011"],
+        )
+        assert diff.preferred_changed
+        assert diff.left_rtt_optimum
+        assert diff.new_rtt_ms > 100.0
+        assert diff.old_rtt_ms < 40.0

@@ -1,0 +1,45 @@
+"""Tests for the full study report renderer."""
+
+import pytest
+
+from repro.core.report import render_study_report
+
+
+@pytest.fixture(scope="module")
+def report_text(pipeline):
+    return render_study_report(pipeline)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Datasets (Table I)",
+            "AS location of servers (Table II)",
+            "Server geolocation (Table III, Figures 2-3)",
+            "Flows and sessions (Figures 4-6)",
+            "Preferred data centers (Figures 7-9)",
+            "DNS vs. application-layer redirection (Figure 10)",
+            "DNS-level load balancing (Figure 11)",
+            "Subnet divergence (Figure 12)",
+            "Hot spots and cold content",
+        ):
+            assert heading in report_text, heading
+
+    def test_all_datasets_mentioned(self, report_text):
+        for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH", "EU2"):
+            assert name in report_text
+
+    def test_key_findings_visible(self, report_text):
+        # The preferred data centers appear by cluster id.
+        assert "cluster-" in report_text
+        # Hot videos section lists actual video ids (11-char tokens).
+        assert "hot video " in report_text
+        assert "peak max/avg ratio" in report_text
+
+    def test_unknown_hot_dataset_rejected(self, pipeline):
+        with pytest.raises(KeyError):
+            render_study_report(pipeline, hot_dataset="Mars")
+
+    def test_report_is_plain_text(self, report_text):
+        assert all(ord(c) < 0x2500 for c in report_text)
+        assert len(report_text.splitlines()) > 40

@@ -1,0 +1,161 @@
+"""Tests for the CBG implementation — calibration, constraints, regions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.cities import default_atlas
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.landmarks import generate_landmarks
+from repro.geo.regions import Continent
+from repro.geoloc.cbg import (
+    Bestline,
+    CbgGeolocator,
+    MIN_RADIUS_KM,
+    MIN_SLOPE_MS_PER_KM,
+    fit_bestline,
+)
+from repro.geoloc.probing import RttProber
+from repro.net.latency import AccessTechnology, LatencyModel, Site
+
+
+class TestBestlineFit:
+    def test_line_below_all_points(self):
+        distances = [100.0, 500.0, 1000.0, 2000.0, 4000.0]
+        rtts = [4.0, 12.0, 18.0, 35.0, 65.0]
+        line = fit_bestline(distances, rtts)
+        for d, r in zip(distances, rtts):
+            assert line.slope_ms_per_km * d + line.intercept_ms <= r + 1e-6
+
+    def test_slope_at_least_fibre_bound(self):
+        distances = [100.0, 1000.0, 3000.0]
+        rtts = [100.0, 100.5, 101.0]  # absurdly flat cloud
+        line = fit_bestline(distances, rtts)
+        assert line.slope_ms_per_km >= MIN_SLOPE_MS_PER_KM - 1e-12
+
+    def test_intercept_non_negative(self):
+        line = fit_bestline([10.0, 5000.0], [0.2, 30.0])
+        assert line.intercept_ms >= 0.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_bestline([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_bestline([1.0, 2.0], [1.0])
+
+    def test_distance_estimate_clamped(self):
+        line = Bestline(slope_ms_per_km=0.01, intercept_ms=5.0)
+        assert line.distance_km(1.0) == MIN_RADIUS_KM  # below intercept
+        assert line.distance_km(25.0) == pytest.approx(2000.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=10.0, max_value=8000.0),
+                st.floats(min_value=1.2, max_value=3.0),
+            ),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_below_cloud(self, cloud):
+        distances = [d for d, _ in cloud]
+        # RTT = inflation * ideal + noise-free fixed part: always >= bound.
+        rtts = [LatencyModel.ideal_rtt_ms(d) * infl + 1.0 for d, infl in cloud]
+        line = fit_bestline(distances, rtts)
+        for d, r in zip(distances, rtts):
+            assert line.slope_ms_per_km * d + line.intercept_ms <= r + 1e-6
+
+
+@pytest.fixture(scope="module")
+def geolocator():
+    landmarks = generate_landmarks(seed=42).subsample(70, seed=1)
+    latency = LatencyModel(seed=123)
+    prober = RttProber(latency, probes=5, seed=99)
+    return CbgGeolocator(landmarks, prober), latency
+
+
+def dc_site(city_name):
+    city = default_atlas().get(city_name)
+    return Site(
+        key=f"srv:{city_name}",
+        point=city.point,
+        access=AccessTechnology.DATACENTER,
+        group=f"dc:{city_name}",
+    )
+
+
+class TestGeolocation:
+    def test_accuracy_in_dense_regions(self, geolocator):
+        cbg, _ = geolocator
+        for city_name in ("Amsterdam", "Chicago", "Milan", "Dallas"):
+            target = dc_site(city_name)
+            result = cbg.geolocate_target(target)
+            err = haversine_km(result.estimate, target.point)
+            assert err < 250.0, f"{city_name}: {err:.0f} km"
+
+    def test_feasible_regions_usually(self, geolocator):
+        cbg, _ = geolocator
+        feasible = 0
+        cities = ("Amsterdam", "Chicago", "Milan", "Dallas", "Tokyo", "Madrid")
+        for city_name in cities:
+            if cbg.geolocate_target(dc_site(city_name)).feasible:
+                feasible += 1
+        assert feasible >= len(cities) - 1
+
+    def test_confidence_radius_positive(self, geolocator):
+        cbg, _ = geolocator
+        result = cbg.geolocate_target(dc_site("Paris"))
+        assert result.confidence_radius_km > 0.0
+
+    def test_needs_three_constraints(self, geolocator):
+        cbg, _ = geolocator
+        rtts = {cbg.landmarks[0].name: 10.0, cbg.landmarks[1].name: 10.0}
+        with pytest.raises(ValueError):
+            cbg.geolocate(rtts)
+
+    def test_constraints_used_counted(self, geolocator):
+        cbg, _ = geolocator
+        result = cbg.geolocate_target(dc_site("London"))
+        assert result.constraints_used == len(cbg.landmarks)
+
+    def test_bestlines_calibrated_per_landmark(self, geolocator):
+        cbg, _ = geolocator
+        for lm in cbg.landmarks[:5]:
+            line = cbg.bestline(lm.name)
+            assert line.slope_ms_per_km >= MIN_SLOPE_MS_PER_KM - 1e-12
+            assert line.intercept_ms >= 0.0
+
+    def test_deterministic(self):
+        landmarks = generate_landmarks(seed=42).subsample(30, seed=1)
+        latency = LatencyModel(seed=123)
+
+        def run():
+            prober = RttProber(latency, probes=4, seed=99)
+            cbg = CbgGeolocator(landmarks, prober)
+            return cbg.geolocate_target(dc_site("Milan"))
+
+        a, b = run(), run()
+        assert a.estimate == b.estimate
+        assert a.confidence_radius_km == b.confidence_radius_km
+
+    def test_minimum_landmark_count(self):
+        landmarks = generate_landmarks(
+            mix={Continent.EUROPE: 3}, seed=1
+        )
+        latency = LatencyModel(seed=1)
+        with pytest.raises(ValueError):
+            CbgGeolocator(landmarks, RttProber(latency, probes=2, seed=0))
+
+    def test_region_contains_truth_when_feasible(self, geolocator):
+        cbg, _ = geolocator
+        target = dc_site("Frankfurt")
+        result = cbg.geolocate_target(target)
+        if result.feasible:
+            err = haversine_km(result.estimate, target.point)
+            # The estimate is the region centroid; truth lies within the
+            # region, so the error is bounded by a few region radii.
+            assert err <= max(4.0 * result.confidence_radius_km, 300.0)

@@ -1,0 +1,107 @@
+"""Tests for the geolocation evaluation harness."""
+
+import pytest
+
+from repro.geo.cities import default_atlas
+from repro.geo.coords import GeoPoint, destination_point
+from repro.geoloc.evaluation import EvaluationReport, MethodScore, evaluate_methods
+
+
+@pytest.fixture
+def truth():
+    atlas = default_atlas()
+    return {
+        "a": atlas.get("Milan").point,
+        "b": atlas.get("Chicago").point,
+        "c": atlas.get("Tokyo").point,
+    }
+
+
+class TestEvaluate:
+    def test_perfect_method(self, truth):
+        report = evaluate_methods({"oracle": lambda t: truth[t]}, truth)
+        score = report.score("oracle")
+        assert score.answer_rate == 1.0
+        assert score.median_error_km == 0.0
+
+    def test_offset_method(self, truth):
+        def off_by_100(t):
+            return destination_point(truth[t], 90.0, 100.0)
+
+        report = evaluate_methods({"off": off_by_100}, truth)
+        assert report.score("off").median_error_km == pytest.approx(100.0, rel=0.01)
+
+    def test_partial_answers(self, truth):
+        def only_a(t):
+            return truth[t] if t == "a" else None
+
+        report = evaluate_methods({"partial": only_a}, truth)
+        score = report.score("partial")
+        assert score.answered == 1
+        assert score.answer_rate == pytest.approx(1 / 3)
+
+    def test_no_answers(self, truth):
+        report = evaluate_methods({"mute": lambda t: None}, truth)
+        score = report.score("mute")
+        assert score.answered == 0
+        with pytest.raises(ValueError):
+            score.median_error_km
+
+    def test_render(self, truth):
+        report = evaluate_methods(
+            {"oracle": lambda t: truth[t], "mute": lambda t: None}, truth
+        )
+        text = report.render()
+        assert "oracle" in text and "mute" in text and "-" in text
+
+    def test_unknown_method(self, truth):
+        report = evaluate_methods({}, truth)
+        with pytest.raises(KeyError):
+            report.score("nope")
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_methods({}, {})
+
+
+class TestEndToEnd:
+    def test_three_real_methods(self, pipeline, study_results):
+        """CBG vs database vs shortest-ping through the harness."""
+        from repro.geoloc.geodb import build_reference_geodb
+        from repro.geoloc.probing import RttProber
+        from repro.geoloc.shortest_ping import ShortestPingGeolocator
+        from repro.sim.seeding import derive_seed
+
+        server_map = pipeline.server_map
+        truth = {}
+        for cluster in server_map.clusters[:12]:
+            ip = cluster.server_ips[0]
+            site = pipeline.site_of_ip(ip)
+            if site is not None:
+                truth[str(ip)] = site.point
+
+        registry = next(iter(study_results.values())).world.registry
+        geodb = build_reference_geodb(registry)
+        latency = next(iter(study_results.values())).world.latency
+        sp = ShortestPingGeolocator(
+            pipeline.landmarks, RttProber(latency, probes=4, seed=derive_seed(1, "sp"))
+        )
+
+        def cbg_method(label):
+            return server_map.by_ip[int(label)].estimate
+
+        def db_method(label):
+            city = geodb.lookup(int(label))
+            return None if city is None else city.point
+
+        def sp_method(label):
+            site = pipeline.site_of_ip(int(label))
+            return sp.geolocate_target(site).estimate
+
+        report = evaluate_methods(
+            {"cbg": cbg_method, "geodb": db_method, "shortest-ping": sp_method},
+            truth,
+        )
+        assert report.score("cbg").median_error_km < 300.0
+        assert report.score("geodb").median_error_km > 1000.0
+        assert report.score("shortest-ping").answer_rate == 1.0

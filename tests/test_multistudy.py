@@ -1,0 +1,160 @@
+"""Tests for the shared-world study mode."""
+
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+from repro.core.subnets import most_biased_subnet
+from repro.sim.multistudy import build_shared_worlds, run_shared, run_shared_study
+from repro.sim.scenarios import DATASET_NAMES
+
+SHARED_SCALE = 0.015
+SHARED_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def shared_results():
+    return run_shared_study(scale=SHARED_SCALE, seed=SHARED_SEED)
+
+
+@pytest.fixture(scope="module")
+def shared_pipeline(shared_results):
+    return StudyPipeline(shared_results, landmark_count=60, seed=11)
+
+
+class TestConstruction:
+    def test_all_worlds_share_one_system(self, shared_results):
+        systems = {id(r.world.system) for r in shared_results.values()}
+        assert len(systems) == 1
+        registries = {id(r.world.registry) for r in shared_results.values()}
+        assert len(registries) == 1
+
+    def test_every_dataset_present(self, shared_results):
+        assert set(shared_results) == set(DATASET_NAMES)
+        for result in shared_results.values():
+            assert result.requests > 100
+            assert len(result.dataset) > result.requests
+
+    def test_client_spaces_disjoint(self, shared_results):
+        seen = {}
+        for name, result in shared_results.items():
+            for ip in result.dataset.client_ips:
+                assert ip not in seen, f"{name} shares client {ip} with {seen.get(ip)}"
+                seen[ip] = name
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            build_shared_worlds(scale=0.01, names=("Mars",))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_shared_worlds(scale=0.0)
+
+    def test_run_shared_requires_shared_system(self):
+        from repro.sim.driver import run_scenario
+
+        a = run_scenario("EU1-FTTH", scale=0.002, seed=3)
+        b = run_scenario("EU1-Campus", scale=0.002, seed=3)
+        with pytest.raises(ValueError):
+            run_shared({"a": a.world, "b": b.world})
+        with pytest.raises(ValueError):
+            run_shared({})
+
+    def test_internal_dc_unreachable_from_outside(self, shared_results):
+        """The EU2 in-ISP data center serves only EU2's customers."""
+        internal = shared_results["EU2"].world.internal_dc_id
+        assert internal is not None
+        for name, result in shared_results.items():
+            if name == "EU2":
+                assert result.served_dc_counts.get(internal, 0) > 0
+            else:
+                assert result.served_dc_counts.get(internal, 0) == 0
+
+
+class TestSharedShapes:
+    """The paper's headline shapes must survive the mode switch."""
+
+    def test_preferred_shares(self, shared_pipeline):
+        for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+            report = shared_pipeline.preferred_reports[name]
+            assert report.byte_share(report.preferred_id) > 0.8, name
+
+    def test_eu2_split(self, shared_pipeline):
+        assert shared_pipeline.nonpreferred_fraction("EU2") > 0.5
+        report = shared_pipeline.preferred_reports["EU2"]
+        assert report.byte_share(report.preferred_id) < 0.6
+
+    def test_nonpreferred_bands(self, shared_pipeline):
+        for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+            fraction = shared_pipeline.nonpreferred_fraction(name)
+            assert 0.03 < fraction < 0.20, (name, fraction)
+
+    def test_net3_bias(self, shared_pipeline):
+        shares = shared_pipeline.subnet_shares("US-Campus")
+        assert most_biased_subnet(shares).subnet_name == "Net-3"
+
+    def test_eu2_load_balance(self, shared_pipeline):
+        lb = shared_pipeline.load_balance("EU2")
+        quiet, busy = lb.night_day_split()
+        assert quiet > busy + 0.25
+
+    def test_same_as_isolation_in_table2(self, shared_pipeline):
+        for name, breakdown in shared_pipeline.as_breakdowns.items():
+            if name == "EU2":
+                assert breakdown.byte_fractions["same_as"] > 0.2
+            else:
+                assert breakdown.byte_fractions["same_as"] == 0.0
+
+
+class TestDeterminism:
+    def test_shared_runs_reproducible(self):
+        def run_once():
+            results = run_shared_study(scale=0.004, seed=13, names=("EU1-FTTH", "EU1-Campus"))
+            return {
+                name: [(r.src_ip, r.dst_ip, r.num_bytes, r.t_start)
+                       for r in result.dataset.records]
+                for name, result in results.items()
+            }
+
+        assert run_once() == run_once()
+
+
+class TestInteraction:
+    def test_cross_vantage_cache_warming(self):
+        """EU1's vantage points share a preferred data center: a cold video
+        pulled through by one vantage point's client is already warm when
+        another vantage point's client asks for it."""
+        import random
+
+        from repro.cdn.catalog import Resolution
+
+        worlds = build_shared_worlds(
+            scale=0.01, seed=3, names=("EU1-ADSL", "EU1-Campus")
+        )
+        adsl = worlds["EU1-ADSL"]
+        campus = worlds["EU1-Campus"]
+        system = adsl.system
+        # A video certainly absent from the shared preferred data center.
+        video = system.catalog.by_rank(len(system.catalog) - 5)
+        system.placement.register_cold(video)
+        milan = adsl.google_dc_ids[0]
+        assert campus.google_dc_ids[0] == milan  # same preferred DC
+        assert not system.placement.is_resident(milan, video)
+
+        rng = random.Random(0)
+
+        def fetch(world):
+            client = next(iter(world.population))
+            return system.handle_request(
+                client_ip=client.ip,
+                client_site=world.vantage.client_site(client.ip),
+                resolver=world.vantage.resolver_for(client.ip),
+                video=video,
+                resolution=Resolution.R360,
+                t_s=1000.0,
+                rng=rng,
+            )
+
+        first = fetch(adsl)
+        assert "miss" in first.decision.causes  # cold for the first client
+        second = fetch(campus)
+        assert "miss" not in second.decision.causes  # warm for the second

@@ -1,0 +1,46 @@
+"""Tests for the pipeline's step caching and measurement accounting."""
+
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+
+
+class TestCaching:
+    def test_cached_steps_compute_once(self, study_results):
+        pipe = StudyPipeline(study_results, landmark_count=40, seed=11)
+        first = pipe.rtt_campaigns
+        second = pipe.rtt_campaigns
+        assert first is second  # cached_property returns the same object
+
+    def test_sessions_cached(self, pipeline):
+        assert pipeline.sessions is pipeline.sessions
+        assert pipeline.server_map is pipeline.server_map
+        assert pipeline.preferred_reports is pipeline.preferred_reports
+
+    def test_fresh_pipeline_independent(self, study_results, pipeline):
+        other = StudyPipeline(study_results, landmark_count=40, seed=99)
+        # Different measurement seed → numerically different campaigns...
+        name = "EU1-FTTH"
+        a = pipeline.rtt_campaigns[name]
+        b = other.rtt_campaigns[name]
+        common = set(a) & set(b)
+        assert common
+        assert any(abs(a[ip] - b[ip]) > 1e-9 for ip in common)
+        # ...but the same physical floors underneath: min-filtered values
+        # agree to within the jitter scale.
+        assert all(abs(a[ip] - b[ip]) < 10.0 for ip in common)
+
+    def test_same_seed_pipelines_agree(self, study_results):
+        a = StudyPipeline(study_results, landmark_count=40, seed=11)
+        b = StudyPipeline(study_results, landmark_count=40, seed=11)
+        name = "EU1-FTTH"
+        assert a.rtt_campaigns[name] == b.rtt_campaigns[name]
+
+    def test_run_bundle_consistent_with_steps(self, pipeline):
+        bundle = pipeline.run()
+        assert bundle.summaries is pipeline.summaries
+        assert bundle.preferred_reports is pipeline.preferred_reports
+        for name in pipeline.dataset_names:
+            assert bundle.nonpreferred_fractions[name] == pytest.approx(
+                pipeline.nonpreferred_fraction(name)
+            )

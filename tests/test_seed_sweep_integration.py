@@ -1,0 +1,70 @@
+"""A compact paper-shape battery at a second seed.
+
+The main integration suite runs at seed 7; this re-checks the
+load-bearing shapes at seed 23 with an independent pipeline, guarding the
+reproduction against single-seed luck (complementing the per-mechanism
+seed checks in test_robustness.py).
+"""
+
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+from repro.core.subnets import most_biased_subnet
+from repro.sim.driver import run_all
+
+ALT_SEED = 23
+
+
+@pytest.fixture(scope="module")
+def alt_pipeline():
+    results = run_all(scale=0.015, seed=ALT_SEED)
+    return StudyPipeline(results, landmark_count=50, seed=31)
+
+
+class TestAltSeedShapes:
+    def test_preferred_shares(self, alt_pipeline):
+        for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+            report = alt_pipeline.preferred_reports[name]
+            assert report.byte_share(report.preferred_id) > 0.8, name
+
+    def test_preferred_is_min_rtt_major(self, alt_pipeline):
+        for name in alt_pipeline.dataset_names:
+            report = alt_pipeline.preferred_reports[name]
+            majors = [
+                v for v in report.views
+                if v.num_bytes / report.total_bytes > 0.05
+            ]
+            assert report.preferred.min_rtt_ms == min(v.min_rtt_ms for v in majors)
+
+    def test_nonpreferred_bands(self, alt_pipeline):
+        # Wider bands than the seed-7 suite: a different latency world
+        # shifts the spill targets, and the coarse 50-landmark CBG can
+        # merge a near-ranked alternate into the preferred cluster.
+        for name in ("US-Campus", "EU1-Campus", "EU1-ADSL", "EU1-FTTH"):
+            fraction = alt_pipeline.nonpreferred_fraction(name)
+            assert 0.01 < fraction < 0.25, (name, fraction)
+        assert alt_pipeline.nonpreferred_fraction("EU2") > 0.5
+
+    def test_us_campus_geography_anomaly(self, alt_pipeline):
+        # The qualitative Figure 8 contrast: geography predicts EU1's
+        # traffic but not US-Campus's.
+        us = alt_pipeline.preferred_reports["US-Campus"].closest_k_share(5)
+        eu = alt_pipeline.preferred_reports["EU1-ADSL"].closest_k_share(5)
+        assert us < 0.15
+        assert eu > 0.7
+        assert us < eu / 4
+
+    def test_net3_bias(self, alt_pipeline):
+        shares = alt_pipeline.subnet_shares("US-Campus")
+        assert most_biased_subnet(shares).subnet_name == "Net-3"
+
+    def test_eu2_load_balance(self, alt_pipeline):
+        lb = alt_pipeline.load_balance("EU2")
+        quiet, busy = lb.night_day_split()
+        assert quiet > busy + 0.25
+        assert lb.correlation() < -0.5
+
+    def test_session_shares(self, alt_pipeline):
+        for name in alt_pipeline.dataset_names:
+            histogram = alt_pipeline.session_histogram(name)
+            assert 0.68 < histogram["1"] < 0.90, name

@@ -1,0 +1,153 @@
+"""Tests for the trace package: records, monitor, log I/O."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.cluster import FlowEvent
+from repro.net.ip import parse_ip
+from repro.sim.scenarios import PAPER_SCENARIOS, build_world
+from repro.trace.logio import dumps, format_record, loads, parse_record, read_flow_log, write_flow_log
+from repro.trace.monitor import EdgeMonitor
+from repro.trace.records import Dataset, FlowRecord
+
+
+def record(src="128.210.0.5", dst="173.194.0.10", nbytes=5000, t0=10.0, t1=20.0,
+           vid="AAAAAAAAAAA", res="360p"):
+    return FlowRecord(
+        src_ip=parse_ip(src), dst_ip=parse_ip(dst), num_bytes=nbytes,
+        t_start=t0, t_end=t1, video_id=vid, resolution=res,
+    )
+
+
+class TestFlowRecord:
+    def test_properties(self):
+        r = record()
+        assert r.duration_s == 10.0
+        assert r.hour == 0
+        assert r.src_str == "128.210.0.5"
+        assert r.dst_str == "173.194.0.10"
+
+    def test_hour_binning(self):
+        assert record(t0=3599.9, t1=3600.5).hour == 0
+        assert record(t0=3600.0, t1=3700.0).hour == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            record(t0=10.0, t1=5.0)
+        with pytest.raises(ValueError):
+            record(nbytes=-1)
+
+
+class TestDataset:
+    @pytest.fixture
+    def vantage(self):
+        return build_world(PAPER_SCENARIOS["EU1-Campus"], scale=0.01, seed=2).vantage
+
+    def test_aggregates(self, vantage):
+        records = [record(nbytes=100), record(dst="173.194.0.11", nbytes=200)]
+        ds = Dataset(name="X", vantage=vantage, records=records)
+        assert len(ds) == 2
+        assert ds.total_bytes == 300
+        assert len(ds.server_ips) == 2
+        assert len(ds.client_ips) == 1
+
+    def test_filtered(self, vantage):
+        keep = parse_ip("173.194.0.10")
+        records = [record(), record(dst="173.194.0.11")]
+        ds = Dataset(name="X", vantage=vantage, records=records)
+        filtered = ds.filtered([keep])
+        assert len(filtered) == 1
+        assert filtered.records[0].dst_ip == keep
+        assert filtered.name == "X"
+
+    def test_subnet_plan(self, vantage):
+        ds = Dataset(name="X", vantage=vantage, records=[record()])
+        plan = ds.subnet_plan()
+        assert len(plan) == len(vantage.subnets)
+
+    def test_duration_validated(self, vantage):
+        with pytest.raises(ValueError):
+            Dataset(name="X", vantage=vantage, records=[], duration_s=0.0)
+
+
+class TestMonitor:
+    @pytest.fixture
+    def vantage(self):
+        return build_world(PAPER_SCENARIOS["EU1-Campus"], scale=0.01, seed=2).vantage
+
+    def make_event(self, i=0):
+        return FlowEvent(
+            t_start=float(i), t_end=float(i) + 1.0,
+            client_ip=parse_ip("128.210.0.5"), server_ip=parse_ip("173.194.0.10"),
+            num_bytes=1000, video_id="AAAAAAAAAAA", resolution="360p", kind="video",
+        )
+
+    def test_records_all_without_misses(self, vantage):
+        monitor = EdgeMonitor(vantage, miss_probability=0.0)
+        monitor.observe_all(self.make_event(i) for i in range(10))
+        assert monitor.record_count == 10
+        assert monitor.missed == 0
+
+    def test_miss_probability(self, vantage):
+        monitor = EdgeMonitor(vantage, miss_probability=0.5, seed=1)
+        monitor.observe_all(self.make_event(i) for i in range(1000))
+        assert 350 < monitor.record_count < 650
+        assert monitor.missed + monitor.record_count == 1000
+
+    def test_finish_sorts(self, vantage):
+        monitor = EdgeMonitor(vantage, miss_probability=0.0)
+        for i in (5, 1, 3):
+            monitor.observe(self.make_event(i))
+        ds = monitor.finish("X", 3600.0)
+        starts = [r.t_start for r in ds.records]
+        assert starts == sorted(starts)
+
+    def test_validation(self, vantage):
+        with pytest.raises(ValueError):
+            EdgeMonitor(vantage, miss_probability=1.0)
+
+
+class TestLogIo:
+    def test_roundtrip_string(self):
+        records = [record(), record(dst="74.125.1.2", nbytes=999, vid="B_-123456Zz")]
+        assert loads(dumps(records)) == records
+
+    def test_roundtrip_file(self, tmp_path):
+        records = [record(t0=1.5, t1=2.25)]
+        path = tmp_path / "flows.tsv"
+        count = write_flow_log(records, path)
+        assert count == 1
+        assert read_flow_log(path) == records
+
+    def test_header_skipped(self):
+        text = "# a comment\n\n" + format_record(record()) + "\n"
+        assert len(loads(text)) == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_record("only\tthree\tfields")
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=10 ** 9),
+        st.floats(min_value=0.0, max_value=604800.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=3600.0, allow_nan=False),
+        st.text(alphabet="ABCdef012_-", min_size=11, max_size=11),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, src, dst, nbytes, t0, dur, vid):
+        r = FlowRecord(
+            src_ip=src, dst_ip=dst, num_bytes=nbytes,
+            t_start=t0, t_end=t0 + dur, video_id=vid, resolution="480p",
+        )
+        parsed = parse_record(format_record(r))
+        assert parsed.src_ip == r.src_ip
+        assert parsed.dst_ip == r.dst_ip
+        assert parsed.num_bytes == r.num_bytes
+        assert parsed.video_id == r.video_id
+        assert parsed.t_start == pytest.approx(r.t_start, abs=1e-6)
+        assert parsed.t_end == pytest.approx(r.t_end, abs=1e-6)
