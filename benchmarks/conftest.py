@@ -16,6 +16,8 @@ from pathlib import Path
 import pytest
 
 from repro.core.pipeline import StudyPipeline
+from repro.exec import ParallelExecutor
+from repro.reporting.timing import write_timing_json
 from repro.sim.driver import run_all
 
 BENCH_SCALE = 0.02
@@ -25,15 +27,31 @@ OUT_DIR = Path(__file__).parent / "out"
 
 
 @pytest.fixture(scope="session")
-def results():
-    """The five simulated datasets."""
-    return run_all(scale=BENCH_SCALE, seed=BENCH_SEED)
+def executor():
+    """The session's execution backend (``REPRO_EXECUTOR``, default serial).
+
+    Results are backend-independent; only the timings differ.  At session
+    end the accumulated per-task timings land in
+    ``benchmarks/out/timing_<backend>.json`` — the artifact the CI
+    benchmark-smoke job uploads for both serial and process runs.
+    """
+    executor = ParallelExecutor.from_env()
+    yield executor
+    if executor.stats:
+        OUT_DIR.mkdir(exist_ok=True)
+        write_timing_json(executor.stats, OUT_DIR / f"timing_{executor.backend}.json")
 
 
 @pytest.fixture(scope="session")
-def pipe(results):
+def results(executor):
+    """The five simulated datasets."""
+    return run_all(scale=BENCH_SCALE, seed=BENCH_SEED, executor=executor)
+
+
+@pytest.fixture(scope="session")
+def pipe(results, executor):
     """The analysis pipeline (full 215-landmark CBG)."""
-    return StudyPipeline(results, landmark_count=None, seed=11)
+    return StudyPipeline(results, landmark_count=None, seed=11, executor=executor)
 
 
 @pytest.fixture(scope="session")

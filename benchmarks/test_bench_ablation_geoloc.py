@@ -10,7 +10,7 @@ import pytest
 
 from repro.geo.coords import haversine_km
 from repro.geoloc.geodb import build_reference_geodb
-from repro.geoloc.rdns import build_reverse_dns, infer_city_from_hostname
+from repro.geoloc.rdns import build_reverse_dns
 
 
 @pytest.fixture(scope="module")

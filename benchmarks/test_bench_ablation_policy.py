@@ -9,7 +9,6 @@ the observable signatures.
 
 import pytest
 
-from repro.core.preferred import analyze_preferred
 from repro.core.pipeline import StudyPipeline
 from repro.sim.driver import run_spec
 from repro.sim.scenarios import PAPER_SCENARIOS

@@ -13,14 +13,14 @@ from repro.sim.multistudy import run_shared_study
 
 
 @pytest.fixture(scope="module")
-def shared_pipe():
-    results = run_shared_study(scale=0.02, seed=7)
-    return StudyPipeline(results, landmark_count=120, seed=11)
+def shared_pipe(executor):
+    results = run_shared_study(scale=0.02, seed=7, executor=executor)
+    return StudyPipeline(results, landmark_count=120, seed=11, executor=executor)
 
 
-def test_bench_shared_world(benchmark, shared_pipe, save_artifact):
+def test_bench_shared_world(benchmark, shared_pipe, executor, save_artifact):
     def compute():
-        return run_shared_study(scale=0.004, seed=7)
+        return run_shared_study(scale=0.004, seed=7, executor=executor)
 
     benchmark.pedantic(compute, rounds=2, iterations=1)
 

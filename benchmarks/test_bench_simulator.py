@@ -7,7 +7,6 @@ collection) and the CBG solver (targets/second once calibrated).
 
 import pytest
 
-from repro.geoloc.probing import RttProber
 from repro.sim.engine import RequestProcessor
 from repro.sim.scenarios import PAPER_SCENARIOS, build_world
 

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.active.testvideo import TestVideoExperiment
 from repro.core.asmap import render_table2
+from repro.exec.executor import BACKENDS, ParallelExecutor
 from repro.core.geography import render_table3
 from repro.core.pipeline import StudyPipeline
 from repro.core.sessions import flows_per_session_histogram, build_sessions
@@ -36,6 +37,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="traffic scale relative to the paper (default 0.02)")
     parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument("--parallel", choices=BACKENDS, default=None,
+                        help="execution backend for independent runs "
+                             "(default: $REPRO_EXECUTOR, else serial; "
+                             "results are identical on every backend)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker bound for --parallel (default: CPU count)")
+
+
+def executor_from_args(args: argparse.Namespace) -> Optional[ParallelExecutor]:
+    """The executor selected on the command line, or ``None`` for env/default.
+
+    ``--parallel`` wins over ``REPRO_EXECUTOR``; ``--workers`` alone keeps
+    the environment's backend but bounds its pool.
+    """
+    backend = getattr(args, "parallel", None)
+    workers = getattr(args, "workers", None)
+    if backend is None and workers is None:
+        return None
+    if backend is None:
+        backend = ParallelExecutor.from_env().backend
+    return ParallelExecutor(backend, max_workers=workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,14 +157,17 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
 
 
 def cmd_study(args: argparse.Namespace, out) -> int:
+    executor = executor_from_args(args)
     if args.shared:
         from repro.sim.multistudy import run_shared_study
 
-        results = run_shared_study(scale=args.scale, seed=args.seed)
+        results = run_shared_study(scale=args.scale, seed=args.seed,
+                                   executor=executor)
     else:
-        results = run_all(scale=args.scale, seed=args.seed)
+        results = run_all(scale=args.scale, seed=args.seed, executor=executor)
     landmark_count = None if args.landmarks >= 215 else args.landmarks
-    pipeline = StudyPipeline(results, landmark_count=landmark_count)
+    pipeline = StudyPipeline(results, landmark_count=landmark_count,
+                             executor=executor)
     if args.full:
         from repro.core.report import render_study_report
 
@@ -204,7 +229,8 @@ def cmd_whatif(args: argparse.Namespace, out) -> int:
         variants = [variant_by_name(name.strip()) for name in args.variants.split(",")]
     else:
         variants = standard_variants()
-    report = compare_variants(args.dataset, variants, scale=args.scale, seed=args.seed)
+    report = compare_variants(args.dataset, variants, scale=args.scale,
+                              seed=args.seed, executor=executor_from_args(args))
     print(render_comparison(report), file=out)
     return 0
 
@@ -212,9 +238,11 @@ def cmd_whatif(args: argparse.Namespace, out) -> int:
 def cmd_figures(args: argparse.Namespace, out) -> int:
     from repro.reporting.gnuplot import export_figure_cdfs
 
-    results = run_all(scale=args.scale, seed=args.seed)
+    executor = executor_from_args(args)
+    results = run_all(scale=args.scale, seed=args.seed, executor=executor)
     landmark_count = None if args.landmarks >= 215 else args.landmarks
-    pipeline = StudyPipeline(results, landmark_count=landmark_count)
+    pipeline = StudyPipeline(results, landmark_count=landmark_count,
+                             executor=executor)
 
     written = []
     written.append(export_figure_cdfs(
@@ -261,7 +289,8 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     values = [float(v) for v in args.values.split(",") if v.strip()]
     metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
     sweep = sweep_parameter(
-        args.dataset, args.parameter, values, scale=args.scale, seed=args.seed
+        args.dataset, args.parameter, values, scale=args.scale, seed=args.seed,
+        executor=executor_from_args(args),
     )
     header = f"{args.parameter:>24s}  " + "  ".join(f"{m:>18s}" for m in metrics)
     print(header, file=out)

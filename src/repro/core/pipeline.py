@@ -33,10 +33,11 @@ from repro.core import preferred as preferred_mod
 from repro.core import sessions as sessions_mod
 from repro.core import subnets as subnets_mod
 from repro.core.summary import DatasetSummary, summarize
+from repro.exec.executor import ParallelExecutor
 from repro.geo.landmarks import LandmarkSet, generate_landmarks
 from repro.geoloc.cbg import CbgGeolocator
 from repro.geoloc.clustering import ServerMap, cluster_servers
-from repro.geoloc.probing import RttProber
+from repro.geoloc.probing import CampaignJob, RttProber, run_campaigns
 from repro.net.latency import Site
 from repro.reporting.series import Cdf, Series
 from repro.sim.engine import SimulationResult
@@ -68,6 +69,9 @@ class StudyPipeline:
         probes_per_measurement: Pings per RTT measurement.
         seed: Measurement-noise seed (independent of the worlds' seeds).
         session_gap_s: The session gap T (the paper settles on 1 s).
+        executor: Fan-out strategy for the per-vantage RTT campaigns;
+            ``None`` reads ``REPRO_EXECUTOR``.  Results are backend-
+            independent (each campaign owns a derived-seed prober).
     """
 
     def __init__(
@@ -77,6 +81,7 @@ class StudyPipeline:
         probes_per_measurement: int = 6,
         seed: int = 11,
         session_gap_s: float = sessions_mod.DEFAULT_GAP_S,
+        executor: Optional[ParallelExecutor] = None,
     ):
         if not results:
             raise ValueError("pipeline needs at least one dataset")
@@ -85,6 +90,7 @@ class StudyPipeline:
         self._probes = probes_per_measurement
         self._seed = seed
         self._gap_s = session_gap_s
+        self._executor = executor
 
     # ------------------------------------------------------------ plumbing
 
@@ -164,13 +170,34 @@ class StudyPipeline:
 
     @cached_property
     def rtt_campaigns(self) -> Dict[str, Dict[int, float]]:
-        """Figure 2: per-dataset server RTT campaigns."""
-        campaigns: Dict[str, Dict[int, float]] = {}
+        """Figure 2: per-dataset server RTT campaigns.
+
+        One campaign per vantage point, fanned out over the executor.
+        Each job carries its own derived-seed prober and a pre-resolved
+        target map, so it measures exactly what the serial path would:
+        every reachable server of its dataset, in sorted-address order.
+        """
+        site_of_ip = self._site_of_ip
+        jobs: List[CampaignJob] = []
         for name, result in self._results.items():
-            campaigns[name] = geography.vantage_rtt_campaign(
-                result.dataset, self._prober(f"campaign/{name}"), self._site_of_ip
+            dataset = result.dataset
+            targets: Dict[object, Site] = {}
+            for ip in dataset.server_ips:
+                site = site_of_ip(ip)
+                if site is not None:
+                    targets[ip] = site
+            jobs.append(
+                CampaignJob(
+                    label=f"campaign/{name}",
+                    latency=self._latency,
+                    origin=dataset.vantage.probe_site,
+                    targets=targets,
+                    probes=self._probes,
+                    seed=derive_seed(self._seed, "prober", f"campaign/{name}"),
+                )
             )
-        return campaigns
+        measured = run_campaigns(jobs, executor=self._executor)
+        return dict(zip(self._results, measured))
 
     def rtt_cdf(self, name: str) -> Cdf:
         """One Figure 2 curve."""

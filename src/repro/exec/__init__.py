@@ -1,0 +1,27 @@
+"""Parallel execution layer: deterministic fan-out over independent work.
+
+See :mod:`repro.exec.executor` for the design notes and the determinism
+contract.
+"""
+
+from repro.exec.executor import (
+    BACKENDS,
+    ENV_BACKEND,
+    ENV_WORKERS,
+    ExecutionError,
+    MapStats,
+    ParallelExecutor,
+    TaskTiming,
+    default_executor,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
+    "ENV_WORKERS",
+    "ExecutionError",
+    "MapStats",
+    "ParallelExecutor",
+    "TaskTiming",
+    "default_executor",
+]

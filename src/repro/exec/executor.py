@@ -1,0 +1,297 @@
+"""Deterministic parallel execution over independent units of work.
+
+The study is full of embarrassingly-parallel loops — five vantage points'
+weeks, what-if variants, sweep grid points, per-vantage RTT campaigns —
+that the seed-derivation discipline (:func:`repro.sim.seeding.derive_seed`)
+already makes order-independent: every unit owns its RNG, so running units
+concurrently cannot perturb their draws.  This module supplies the missing
+mechanical piece: a :class:`ParallelExecutor` that fans such units out over
+a backend (in-process serial, threads, or processes) while keeping results
+in input order, containing worker faults, and timing every task.
+
+Determinism contract: for a task function that depends only on its item
+(no ambient global state), all three backends return identical values in
+identical order.  ``tests/test_exec_determinism.py`` holds the simulator to
+that contract byte-for-byte.
+
+Backend selection::
+
+    executor = ParallelExecutor("process", max_workers=4)   # explicit
+    executor = ParallelExecutor.from_env()                  # REPRO_EXECUTOR
+
+Process-backend caveat: the task function must be a module-level callable
+and its items/results picklable — the standard :mod:`concurrent.futures`
+restriction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Recognised backend names, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable naming the backend (``serial``/``thread``/``process``).
+ENV_BACKEND = "REPRO_EXECUTOR"
+
+#: Environment variable bounding the worker count (positive integer).
+ENV_WORKERS = "REPRO_EXECUTOR_WORKERS"
+
+
+class ExecutionError(RuntimeError):
+    """A unit of work failed inside a worker.
+
+    The pool is never killed by one bad task: the failure is captured where
+    it happened and re-surfaced here with the *original* traceback text, so
+    a crash inside a process worker reads exactly like a local one.
+
+    Attributes:
+        label: The failed task's label.
+        cause_type: Exception class name raised by the task.
+        cause_message: Stringified exception.
+        worker_traceback: Full traceback text from inside the worker.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        cause_type: str,
+        cause_message: str,
+        worker_traceback: str,
+    ):
+        self.label = label
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"task {label!r} failed with {cause_type}: {cause_message}\n"
+            f"--- worker traceback ---\n{worker_traceback}"
+        )
+
+    def __reduce__(self):
+        return (
+            ExecutionError,
+            (self.label, self.cause_type, self.cause_message, self.worker_traceback),
+        )
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall-clock timing of one executed task.
+
+    Attributes:
+        label: Task label (for straggler reports).
+        seconds: Wall time spent inside the task function.
+        ok: Whether the task returned (``False`` = raised).
+    """
+
+    label: str
+    seconds: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class MapStats:
+    """Timing summary of one :meth:`ParallelExecutor.map` call.
+
+    Attributes:
+        backend: Backend that ran the batch.
+        wall_s: Wall time of the whole batch, submit to last result.
+        timings: Per-task timings, in input order.
+    """
+
+    backend: str
+    wall_s: float
+    timings: List[TaskTiming] = field(default_factory=list)
+
+    @property
+    def task_seconds(self) -> float:
+        """Total compute time across tasks (serial-equivalent cost)."""
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over wall time (1.0 for serial runs)."""
+        return self.task_seconds / self.wall_s if self.wall_s > 0 else 1.0
+
+    def straggler(self) -> Optional[TaskTiming]:
+        """The slowest task, or ``None`` for an empty batch."""
+        return max(self.timings, key=lambda t: t.seconds, default=None)
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any, label: str):
+    """Run one task, capturing wall time and any failure.
+
+    Module-level so the process backend can pickle it.  Returns
+    ``(seconds, payload)`` where the payload is either the task's value or
+    an :class:`ExecutionError` built from the in-worker traceback.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(item)
+    except Exception as exc:  # contain, never kill the pool
+        return (
+            time.perf_counter() - start,
+            ExecutionError(label, type(exc).__name__, str(exc), traceback.format_exc()),
+        )
+    return (time.perf_counter() - start, value)
+
+
+class ParallelExecutor:
+    """Ordered, fault-contained fan-out over a pluggable backend.
+
+    Args:
+        backend: ``"serial"`` (default: run in the calling thread),
+            ``"thread"`` or ``"process"``.
+        max_workers: Worker bound for the pool backends; defaults to
+            ``os.cpu_count()`` capped at the batch size.
+
+    Raises:
+        ValueError: For unknown backends or a non-positive worker count.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.stats: List[MapStats] = []
+
+    @classmethod
+    def from_env(cls, default: str = "serial") -> "ParallelExecutor":
+        """Build from ``REPRO_EXECUTOR`` / ``REPRO_EXECUTOR_WORKERS``.
+
+        Unset variables fall back to ``default`` workers/backend; invalid
+        values raise exactly like the constructor.
+        """
+        backend = os.environ.get(ENV_BACKEND, default).strip().lower() or default
+        workers_text = os.environ.get(ENV_WORKERS, "").strip()
+        max_workers = int(workers_text) if workers_text else None
+        return cls(backend, max_workers=max_workers)
+
+    # ------------------------------------------------------------- mapping
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+        on_error: str = "raise",
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        All tasks run to completion regardless of individual failures
+        (fault containment): a failed task never cancels its siblings.
+
+        Args:
+            fn: Task function (module-level for the process backend).
+            items: Units of work.
+            labels: Per-task labels for timings and errors; defaults to
+                ``task[i]``.
+            on_error: ``"raise"`` re-raises the first failure as an
+                :class:`ExecutionError` after the whole batch finishes;
+                ``"return"`` leaves each failure's :class:`ExecutionError`
+                in its result slot instead.
+
+        Returns:
+            Task results (or contained errors), in input order.
+
+        Raises:
+            ExecutionError: A task failed and ``on_error="raise"``.
+            ValueError: For a bad ``on_error`` or mismatched label count.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
+        items = list(items)
+        if labels is None:
+            labels = [f"task[{i}]" for i in range(len(items))]
+        else:
+            labels = [str(label) for label in labels]
+            if len(labels) != len(items):
+                raise ValueError(f"{len(labels)} labels for {len(items)} items")
+        start = time.perf_counter()
+        if self.backend == "serial" or len(items) <= 1:
+            outcomes = [_timed_call(fn, item, label) for item, label in zip(items, labels)]
+        else:
+            outcomes = self._pooled(fn, items, labels)
+        wall_s = time.perf_counter() - start
+
+        timings: List[TaskTiming] = []
+        results: List[Any] = []
+        first_error: Optional[ExecutionError] = None
+        for label, (seconds, payload) in zip(labels, outcomes):
+            failed = isinstance(payload, ExecutionError)
+            timings.append(TaskTiming(label=label, seconds=seconds, ok=not failed))
+            results.append(payload)
+            if failed and first_error is None:
+                first_error = payload
+        self.stats.append(MapStats(backend=self.backend, wall_s=wall_s, timings=timings))
+        if first_error is not None and on_error == "raise":
+            raise first_error
+        return results
+
+    def _pooled(
+        self, fn: Callable[[Any], Any], items: List[Any], labels: List[str]
+    ) -> List[tuple]:
+        """Fan a batch out over a worker pool, preserving input order."""
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(items)))
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        outcomes: List[Optional[tuple]] = [None] * len(items)
+        with pool_cls(max_workers=workers) as pool:
+            futures: Dict[Future, int] = {}
+            for i, (item, label) in enumerate(zip(items, labels)):
+                futures[pool.submit(_timed_call, fn, item, label)] = i
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    try:
+                        outcomes[i] = future.result()
+                    except Exception as exc:
+                        # Transport-level failure (e.g. an unpicklable
+                        # result): contain it like an in-task error.
+                        outcomes[i] = (
+                            0.0,
+                            ExecutionError(
+                                labels[i],
+                                type(exc).__name__,
+                                str(exc),
+                                traceback.format_exc(),
+                            ),
+                        )
+        return outcomes
+
+    # ------------------------------------------------------------- timings
+
+    @property
+    def timings(self) -> List[TaskTiming]:
+        """Every task timing recorded so far, across all ``map`` calls."""
+        return [t for stats in self.stats for t in stats.timings]
+
+    def clear_stats(self) -> None:
+        """Drop accumulated timing records."""
+        self.stats.clear()
+
+
+def default_executor(executor: Optional[ParallelExecutor]) -> ParallelExecutor:
+    """The executor to use: the given one, else ``from_env()``.
+
+    Library entry points take ``executor=None`` and resolve it here, so a
+    plain call obeys ``REPRO_EXECUTOR`` while tests can inject explicitly.
+    """
+    return executor if executor is not None else ParallelExecutor.from_env()

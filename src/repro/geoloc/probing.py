@@ -9,8 +9,10 @@ never perturbs the simulated world's randomness.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.net.latency import LatencyModel, Site
 
 
@@ -53,3 +55,52 @@ class RttProber:
             for t_label, t_site in targets.items():
                 results[(o_label, t_label)] = self.measure_ms(o_site, t_site)
         return results
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One self-contained ping campaign: a vantage point's full sweep.
+
+    Self-contained means picklable and order-deterministic: the job names
+    its own RNG seed, and targets are measured in the mapping's insertion
+    order, so the same job measures the same values on every backend.
+
+    Attributes:
+        label: Campaign label (timing reports and error messages).
+        latency: The shared delay model (read-only during measurement).
+        origin: Probing origin site.
+        targets: Target label → site, in measurement order.
+        probes: Pings per measurement.
+        seed: Seed for this campaign's private prober RNG.
+    """
+
+    label: str
+    latency: LatencyModel
+    origin: Site
+    targets: Dict[object, Site] = field(hash=False)
+    probes: int = 10
+    seed: int = 0
+
+
+def run_campaign_job(job: CampaignJob) -> Dict[object, float]:
+    """Process-safe unit of work: run one campaign with a fresh prober."""
+    prober = RttProber(job.latency, probes=job.probes, seed=job.seed)
+    return prober.campaign(job.origin, job.targets)
+
+
+def run_campaigns(
+    jobs: Sequence[CampaignJob],
+    executor: Optional[ParallelExecutor] = None,
+) -> List[Dict[object, float]]:
+    """Fan independent campaigns out over the executor.
+
+    Every job owns its RNG, so campaigns never share random state and the
+    backends are interchangeable.
+
+    Returns:
+        One measurement mapping per job, in input order.
+    """
+    executor = default_executor(executor)
+    return executor.map(
+        run_campaign_job, list(jobs), labels=[job.label for job in jobs]
+    )

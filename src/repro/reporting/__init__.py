@@ -6,6 +6,7 @@ regenerated tables and figure series share one look.
 
 from repro.reporting.series import Cdf, Series, hourly_counts, hourly_fraction
 from repro.reporting.tables import TextTable, format_bytes, format_fraction
+from repro.reporting.timing import render_timing_table, timing_summary, write_timing_json
 
 __all__ = [
     "Cdf",
@@ -15,4 +16,7 @@ __all__ = [
     "TextTable",
     "format_bytes",
     "format_fraction",
+    "render_timing_table",
+    "timing_summary",
+    "write_timing_json",
 ]

@@ -1,0 +1,60 @@
+"""Execution-timing reports: speedup, stragglers, and JSON artifacts.
+
+The :class:`~repro.exec.ParallelExecutor` records a wall-clock
+:class:`~repro.exec.TaskTiming` per unit of work; this module turns those
+records into the benchmark-facing views — a straggler table and a JSON
+document the CI benchmark-smoke job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Sequence
+
+from repro.exec.executor import MapStats, TaskTiming
+from repro.reporting.tables import TextTable
+
+
+def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMINGS") -> str:
+    """A per-task timing table, slowest first (stragglers on top)."""
+    table = TextTable(["task", "seconds", "status"], title=title)
+    for timing in sorted(timings, key=lambda t: t.seconds, reverse=True):
+        table.add_row(timing.label, f"{timing.seconds:.3f}", "ok" if timing.ok else "FAILED")
+    return table.render()
+
+
+def timing_summary(stats: Sequence[MapStats]) -> Dict[str, Any]:
+    """Aggregate a run's map batches into one JSON-ready summary.
+
+    Returns:
+        A dict with the backend, wall/task seconds, the observed speedup
+        (serial-equivalent over wall), the straggler, and per-task rows.
+    """
+    backend = stats[0].backend if stats else "serial"
+    wall_s = sum(s.wall_s for s in stats)
+    task_s = sum(s.task_seconds for s in stats)
+    rows = [
+        {"label": t.label, "seconds": round(t.seconds, 6), "ok": t.ok}
+        for s in stats
+        for t in s.timings
+    ]
+    straggler = max(rows, key=lambda r: r["seconds"], default=None)
+    return {
+        "backend": backend,
+        "batches": len(stats),
+        "tasks": len(rows),
+        "wall_seconds": round(wall_s, 6),
+        "task_seconds": round(task_s, 6),
+        "speedup": round(task_s / wall_s, 3) if wall_s > 0 else 1.0,
+        "straggler": straggler,
+        "timings": rows,
+    }
+
+
+def write_timing_json(stats: Sequence[MapStats], path) -> Dict[str, Any]:
+    """Write :func:`timing_summary` to ``path``; returns the summary."""
+    summary = timing_summary(stats)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return summary

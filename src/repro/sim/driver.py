@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.sim.engine import SimulationResult, run_requests
 from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, ScenarioSpec, build_world
 from repro.trace.records import WEEK_S
@@ -70,24 +71,52 @@ def run_spec(
     return result
 
 
+def _scenario_task(key: Tuple) -> SimulationResult:
+    """Process-safe unit of work: build one scenario's world and run it."""
+    spec, scale, seed, duration_s, policy_kind = key
+    world = build_world(spec, scale=scale, seed=seed, duration_s=duration_s,
+                        policy_kind=policy_kind)
+    return run_requests(world)
+
+
 def run_all(
     scale: float = DEFAULT_SCALE,
     seed: int = 7,
     duration_s: float = WEEK_S,
     policy_kind: str = "preferred",
     names: Optional[Tuple[str, ...]] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, SimulationResult]:
     """Simulate every dataset of the study.
+
+    The five vantage points' weeks are independent (each world derives all
+    of its randomness from its own scenario name), so they fan out over the
+    executor — one task per dataset, byte-identical across backends.
+    Results land in the in-process memo cache either way.
+
+    Args:
+        executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
 
     Returns:
         Mapping from dataset name to its result, in the paper's order.
     """
     selected = names if names is not None else DATASET_NAMES
-    return {
-        name: run_scenario(name, scale=scale, seed=seed, duration_s=duration_s,
-                           policy_kind=policy_kind)
+    for name in selected:
+        if name not in PAPER_SCENARIOS:
+            raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    keys = {
+        name: (PAPER_SCENARIOS[name], scale, seed, duration_s, policy_kind)
         for name in selected
     }
+    pending = [name for name in selected if keys[name] not in _CACHE]
+    if pending:
+        executor = default_executor(executor)
+        fresh = executor.map(
+            _scenario_task, [keys[name] for name in pending], labels=pending
+        )
+        for name, result in zip(pending, fresh):
+            _CACHE[keys[name]] = result
+    return {name: _CACHE[keys[name]] for name in selected}
 
 
 def clear_cache() -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.cdn.cluster import CdnSystem
 from repro.cdn.datacenter import DataCenter, DataCenterDirectory, build_datacenter
 from repro.cdn.redirection import RedirectionEngine
@@ -294,12 +295,34 @@ def build_shared_worlds(
     return worlds
 
 
-def run_shared(worlds: Dict[str, ScenarioWorld]) -> Dict[str, SimulationResult]:
+def _generate_task(world: ScenarioWorld) -> List[Request]:
+    """Process-safe unit of work: one vantage point's request stream.
+
+    Generation only reads the world and draws from the generator's own
+    RNG, so a pickled copy produces value-identical requests (floats
+    round-trip pickling exactly) — the merged stream is byte-identical
+    across backends.
+    """
+    return world.generator.generate(world.duration_s)
+
+
+def run_shared(
+    worlds: Dict[str, ScenarioWorld],
+    executor: Optional[ParallelExecutor] = None,
+) -> Dict[str, SimulationResult]:
     """Run the merged request stream through the shared CDN.
 
     Requests from every vantage point are interleaved in global time order,
     so DNS budgets, server loads and pull-through caches see the causal
-    order a real shared week would produce.
+    order a real shared week would produce.  That interleaved processing is
+    inherently serial — the vantage points interact through shared state —
+    but the per-vantage request *generation* is independent and fans out
+    over the executor.
+
+    Args:
+        worlds: Per-dataset facades sharing one system.
+        executor: Fan-out strategy for generation; ``None`` reads
+            ``REPRO_EXECUTOR``.
 
     Returns:
         Per-dataset :class:`SimulationResult`, pipeline-compatible.
@@ -313,9 +336,16 @@ def run_shared(worlds: Dict[str, ScenarioWorld]) -> Dict[str, SimulationResult]:
     if len(systems) != 1:
         raise ValueError("run_shared needs worlds sharing one CdnSystem")
 
+    executor = default_executor(executor)
+    names = list(worlds)
+    streams = executor.map(
+        _generate_task,
+        [worlds[name] for name in names],
+        labels=[f"generate/{name}" for name in names],
+    )
     tagged: List[Tuple[float, str, Request]] = []
-    for name, world in worlds.items():
-        for request in world.generator.generate(world.duration_s):
+    for name, stream in zip(names, streams):
+        for request in stream:
             tagged.append((request.t_s, name, request))
     tagged.sort(key=lambda item: item[0])
 
@@ -330,6 +360,56 @@ def run_shared_study(
     seed: int = 7,
     duration_s: float = WEEK_S,
     names: Sequence[str] = DATASET_NAMES,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, SimulationResult]:
     """Build the shared world and run the whole study in one call."""
-    return run_shared(build_shared_worlds(scale, seed, duration_s, names))
+    return run_shared(build_shared_worlds(scale, seed, duration_s, names),
+                      executor=executor)
+
+
+def _shared_study_task(config: Dict) -> Dict[str, SimulationResult]:
+    """Process-safe unit of work: one complete shared study.
+
+    The inner generation runs serially — the fan-out lives at the study
+    level here, and nesting pools would oversubscribe the workers.
+    """
+    return run_shared_study(
+        scale=config.get("scale", 0.02),
+        seed=config.get("seed", 7),
+        duration_s=config.get("duration_s", WEEK_S),
+        names=config.get("names", DATASET_NAMES),
+        executor=ParallelExecutor("serial"),
+    )
+
+
+def run_shared_studies(
+    configs: Sequence[Dict],
+    executor: Optional[ParallelExecutor] = None,
+) -> List[Dict[str, SimulationResult]]:
+    """Fan out several complete shared studies, one per executor task.
+
+    This is the multi-scenario sweep surface: each config dict may set
+    ``scale``, ``seed``, ``duration_s`` and ``names``, and each study
+    builds its own CDN, so the studies are fully independent.  Results
+    are byte-identical to running :func:`run_shared_study` serially per
+    config.
+
+    Args:
+        configs: One kwargs-style dict per study.
+        executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
+
+    Returns:
+        Per-config result mappings, in input order.
+
+    Raises:
+        ValueError: With no configs.
+    """
+    if not configs:
+        raise ValueError("no study configs given")
+    executor = default_executor(executor)
+    labels = [
+        "study/" + ",".join(f"{k}={config[k]}" for k in sorted(config)
+                            if k != "names")
+        for config in configs
+    ]
+    return executor.map(_shared_study_task, list(configs), labels=labels)

@@ -20,7 +20,7 @@ import hashlib
 import hmac
 from typing import Dict, Iterable, List
 
-from repro.trace.records import Dataset, FlowRecord
+from repro.trace.records import FlowRecord
 
 
 class PrefixPreservingAnonymizer:

@@ -8,6 +8,7 @@ those the way the authors did.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
@@ -122,6 +123,21 @@ class Dataset:
     def subnet_plan(self) -> Sequence[Tuple[str, IPv4Network]]:
         """The vantage point's internal subnets (name, network)."""
         return [(s.name, s.network) for s in self.vantage.subnets]
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical flow-log serialisation of the records.
+
+        Two datasets digest equal iff their flow logs are byte-identical
+        (the serialisation round-trips floats exactly); the cross-backend
+        determinism tests compare parallel and serial runs with this.
+        """
+        from repro.trace.logio import format_record
+
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(format_record(record).encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     def filtered(self, keep_dst: Sequence[int]) -> "Dataset":
         """A copy keeping only flows to the given server addresses.

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.reporting.tables import TextTable, format_fraction
 from repro.sim.driver import run_spec
 from repro.sim.scenarios import PAPER_SCENARIOS
@@ -53,14 +54,26 @@ class ComparisonReport:
         return getattr(self.row(label), metric) - getattr(self.baseline, metric)
 
 
+def _variant_task(args: Tuple) -> ScenarioMetrics:
+    """Process-safe unit of work: one variant's week, reduced to metrics."""
+    variant_spec, scale, seed, duration_s, policy_kind, label = args
+    result = run_spec(variant_spec, scale=scale, seed=seed,
+                      duration_s=duration_s, policy_kind=policy_kind)
+    return extract_metrics(result, label=label)
+
+
 def compare_variants(
     scenario_name: str,
     variants: Sequence[Variant],
     scale: float = 0.01,
     seed: int = 7,
     duration_s: float = WEEK_S,
+    executor: Optional[ParallelExecutor] = None,
 ) -> ComparisonReport:
     """Simulate a scenario under each variant and collect metric rows.
+
+    Variants share a master seed but build independent worlds, so they
+    fan out over the executor with byte-identical rows on every backend.
 
     Args:
         scenario_name: One of the five paper scenarios.
@@ -69,6 +82,7 @@ def compare_variants(
         seed: Master seed (shared by all variants, so the workloads differ
             only where the variant says they should).
         duration_s: Simulation window.
+        executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
 
     Returns:
         The :class:`ComparisonReport`.
@@ -83,17 +97,18 @@ def compare_variants(
     if not any(v.name == "baseline" for v in ordered):
         ordered.insert(0, baseline_variant())
 
+    executor = default_executor(executor)
+    tasks = [
+        (variant.apply(spec), scale, seed, duration_s, variant.policy_kind,
+         variant.name)
+        for variant in ordered
+    ]
+    rows = executor.map(
+        _variant_task, tasks,
+        labels=[f"{scenario_name}/{variant.name}" for variant in ordered],
+    )
     report = ComparisonReport(scenario_name=scenario_name)
-    for variant in ordered:
-        variant_spec = variant.apply(spec)
-        result = run_spec(
-            variant_spec,
-            scale=scale,
-            seed=seed,
-            duration_s=duration_s,
-            policy_kind=variant.policy_kind,
-        )
-        report.rows.append(extract_metrics(result, label=variant.name))
+    report.rows.extend(rows)
     return report
 
 

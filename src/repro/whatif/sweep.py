@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.reporting.series import Series
 from repro.sim.driver import run_spec
 from repro.sim.engine import SimulationResult
@@ -68,6 +69,18 @@ class SweepResult:
         return 0
 
 
+def _grid_point_task(args: Tuple) -> ScenarioMetrics:
+    """Process-safe unit of work: simulate one grid point, keep metrics.
+
+    Only the compact metric row crosses the process boundary — the full
+    week's trace stays in the worker.
+    """
+    point_spec, scale, seed, duration_s, policy_kind, label = args
+    run = run_spec(point_spec, scale=scale, seed=seed, duration_s=duration_s,
+                   policy_kind=policy_kind)
+    return extract_metrics(run, label=label)
+
+
 def sweep_parameter(
     scenario_name: str,
     parameter: str,
@@ -76,8 +89,13 @@ def sweep_parameter(
     seed: int = 7,
     duration_s: float = WEEK_S,
     policy_kind: str = "preferred",
+    executor: Optional[ParallelExecutor] = None,
 ) -> SweepResult:
     """Sweep one spec field over a value grid.
+
+    Grid points differ only in the swept knob and never interact, so they
+    fan out over the executor — one simulated week per task, identical
+    metric rows on every backend.
 
     Args:
         scenario_name: One of the paper scenarios.
@@ -88,6 +106,7 @@ def sweep_parameter(
             only the swept knob differs).
         duration_s: Simulation window.
         policy_kind: Selection policy for every grid point.
+        executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
 
     Returns:
         The :class:`SweepResult`.
@@ -105,13 +124,18 @@ def sweep_parameter(
     if parameter not in field_names:
         raise ValueError(f"ScenarioSpec has no field {parameter!r}")
 
-    result = SweepResult(scenario_name=scenario_name, parameter=parameter)
+    executor = default_executor(executor)
+    tasks = []
     for value in values:
         point_spec = dataclasses.replace(spec, **{parameter: value})
-        run = run_spec(
-            point_spec, scale=scale, seed=seed, duration_s=duration_s,
-            policy_kind=policy_kind,
-        )
+        tasks.append((point_spec, scale, seed, duration_s, policy_kind,
+                      f"{parameter}={value}"))
+    rows = executor.map(
+        _grid_point_task, tasks,
+        labels=[f"{scenario_name}/{task[-1]}" for task in tasks],
+    )
+    result = SweepResult(scenario_name=scenario_name, parameter=parameter)
+    for value, row in zip(values, rows):
         result.values.append(float(value))
-        result.metrics.append(extract_metrics(run, label=f"{parameter}={value}"))
+        result.metrics.append(row)
     return result

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.pipeline import StudyPipeline
-from repro.sim.driver import run_all, run_scenario
+from repro.sim.driver import run_all
 from repro.sim.scenarios import PAPER_SCENARIOS, build_world
 
 #: Volume scale for the shared week (≈2 % of paper traffic: all shapes

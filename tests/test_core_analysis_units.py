@@ -24,7 +24,6 @@ from repro.core.preferred import (
 from repro.core.sessions import build_sessions
 from repro.core.summary import DatasetSummary, render_table1, summarize
 from repro.geo.cities import default_atlas
-from repro.geo.coords import GeoPoint
 from repro.geoloc.clustering import DataCenterCluster, ServerMap
 from repro.trace.records import FlowRecord
 
@@ -179,7 +178,6 @@ class TestSessionPatterns:
 
 class TestPreferredSelection:
     def test_dominant_provider_wins(self, server_map):
-        ds_records = [vflow(PREF_IP, nbytes=900), vflow(OTHER_IP, nbytes=100)]
         # analyze_preferred needs a Dataset; exercise _pick via report math.
         report = make_report(server_map)
         assert report.preferred_id == "cluster-pref"

@@ -10,7 +10,7 @@ from repro.core.characterize import (
     top_share,
     video_popularity,
 )
-from repro.trace.records import Dataset, FlowRecord
+from repro.trace.records import FlowRecord
 
 
 def flow(src=1, vid="V" * 11, t0=0.0, nbytes=50_000):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.evolution import EpochDiff, compare_epochs
+from repro.core.evolution import compare_epochs
 from repro.core.pipeline import StudyPipeline
 from repro.core.preferred import DataCenterView, PreferredDcReport
 from repro.geoloc.clustering import DataCenterCluster

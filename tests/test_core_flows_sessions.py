@@ -18,7 +18,6 @@ from repro.core.sessions import (
     gap_sensitivity,
     multi_flow_fraction,
 )
-from repro.net.ip import parse_ip
 from repro.trace.records import FlowRecord
 
 

@@ -11,11 +11,9 @@ from repro.core.geography import (
     vantage_rtt_campaign,
 )
 from repro.geo.cities import default_atlas
-from repro.geo.coords import GeoPoint
 from repro.geoloc.clustering import DataCenterCluster, ServerMap
 from repro.geoloc.cbg import CbgResult
 from repro.geoloc.probing import RttProber
-from repro.net.latency import AccessTechnology, LatencyModel, Site
 
 
 class TestCampaign:

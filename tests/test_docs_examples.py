@@ -7,7 +7,6 @@ documentation cannot silently rot.
 import pytest
 
 from repro.core import build_sessions, classify_flows
-from repro.core.pipeline import StudyPipeline
 from repro.core.report import render_study_report
 from repro.core.sessions import flows_per_session_histogram
 from repro.sim import run_scenario

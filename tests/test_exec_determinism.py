@@ -1,0 +1,156 @@
+"""Cross-backend determinism: parallel runs are byte-identical to serial.
+
+The executor's contract is that fan-out is a pure mechanical speedup —
+every unit of work owns RNGs derived from its own ``(scenario, vantage)``
+path, so serial, thread and process backends must produce *identical*
+simulation results, down to the flow-log bytes.  These tests hold the three
+wired hot paths (scenario fan-out, shared-world generation, RTT campaigns)
+to that contract, and check that one poisoned vantage point cannot take
+down its siblings' results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exec import BACKENDS, ExecutionError, ParallelExecutor
+from repro.sim import driver
+from repro.sim.driver import _scenario_task
+from repro.sim.engine import run_many
+from repro.sim.multistudy import build_shared_worlds, run_shared
+from repro.sim.scenarios import PAPER_SCENARIOS, build_world
+from repro.trace.records import WEEK_S
+
+SCALE = 0.004
+SEED = 23
+
+
+def _snapshot(results):
+    """Everything the acceptance criteria compare, hashable and exact."""
+    return {
+        name: (
+            result.requests,
+            tuple(sorted(result.cause_counts.items())),
+            tuple(sorted(result.dns_dc_counts.items())),
+            tuple(sorted(result.served_dc_counts.items())),
+            tuple(result.startup_delay_samples),
+            tuple(result.serving_rtt_samples),
+            result.dataset.content_digest(),
+        )
+        for name, result in results.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_snapshot():
+    driver.clear_cache()
+    try:
+        results = driver.run_all(
+            scale=SCALE, seed=SEED, executor=ParallelExecutor("serial")
+        )
+        yield _snapshot(results)
+    finally:
+        driver.clear_cache()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_run_all_backends_byte_identical(backend, serial_snapshot):
+    driver.clear_cache()
+    results = driver.run_all(
+        scale=SCALE, seed=SEED, executor=ParallelExecutor(backend, max_workers=2)
+    )
+    assert _snapshot(results) == serial_snapshot
+    driver.clear_cache()
+
+
+def test_run_all_hits_cache_after_parallel_run(serial_snapshot):
+    driver.clear_cache()
+    executor = ParallelExecutor("thread", max_workers=2)
+    first = driver.run_all(scale=SCALE, seed=SEED, executor=executor)
+    again = driver.run_all(scale=SCALE, seed=SEED, executor=executor)
+    assert all(again[name] is first[name] for name in first)
+    # Only the first call did any work.
+    assert len(executor.timings) == len(first)
+    driver.clear_cache()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_many_matches_run_requests(backend):
+    names = ("EU1-FTTH", "EU1-Campus")
+    worlds = [
+        build_world(PAPER_SCENARIOS[name], scale=SCALE, seed=SEED)
+        for name in names
+    ]
+    fanned = run_many(worlds, executor=ParallelExecutor(backend, max_workers=2))
+    driver.clear_cache()
+    serial = driver.run_all(scale=SCALE, seed=SEED, names=names,
+                            executor=ParallelExecutor("serial"))
+    assert _snapshot(dict(zip(names, fanned))) == _snapshot(serial)
+    driver.clear_cache()
+
+
+def test_run_many_rejects_shared_system():
+    worlds = build_shared_worlds(scale=SCALE, seed=SEED,
+                                 names=("EU1-FTTH", "EU1-Campus"))
+    with pytest.raises(ValueError, match="independent worlds"):
+        run_many(list(worlds.values()))
+
+
+def test_shared_world_generation_backends_identical():
+    snapshots = {}
+    for backend in ("serial", "process"):
+        worlds = build_shared_worlds(scale=SCALE, seed=SEED)
+        results = run_shared(worlds,
+                             executor=ParallelExecutor(backend, max_workers=2))
+        snapshots[backend] = _snapshot(results)
+    assert snapshots["serial"] == snapshots["process"]
+
+
+def test_rtt_campaigns_backends_identical():
+    from repro.core.pipeline import StudyPipeline
+
+    driver.clear_cache()
+    results = driver.run_all(scale=SCALE, seed=SEED,
+                             names=("EU1-FTTH", "EU1-Campus"),
+                             executor=ParallelExecutor("serial"))
+    campaigns = {}
+    for backend in BACKENDS:
+        pipeline = StudyPipeline(
+            results, landmark_count=25,
+            executor=ParallelExecutor(backend, max_workers=2),
+        )
+        campaigns[backend] = pipeline.rtt_campaigns
+    assert campaigns["serial"] == campaigns["thread"]
+    assert campaigns["serial"] == campaigns["process"]
+    assert all(campaigns["serial"].values())
+    driver.clear_cache()
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_poisoned_vantage_does_not_lose_the_others(backend):
+    """One bad scenario surfaces as an ExecutionError; siblings survive."""
+    good = ("EU1-FTTH", "EU1-Campus")
+    poisoned = dataclasses.replace(
+        PAPER_SCENARIOS["EU2"], client_block="not-a-network"
+    )
+    keys = [
+        (PAPER_SCENARIOS[good[0]], SCALE, SEED, WEEK_S, "preferred"),
+        (poisoned, SCALE, SEED, WEEK_S, "preferred"),
+        (PAPER_SCENARIOS[good[1]], SCALE, SEED, WEEK_S, "preferred"),
+    ]
+    executor = ParallelExecutor(backend, max_workers=2)
+    results = executor.map(
+        _scenario_task, keys,
+        labels=[good[0], "EU2-poisoned", good[1]],
+        on_error="return",
+    )
+    error = results[1]
+    assert isinstance(error, ExecutionError)
+    assert error.label == "EU2-poisoned"
+    assert "not-a-network" in error.worker_traceback
+    driver.clear_cache()
+    expected = driver.run_all(scale=SCALE, seed=SEED, names=good,
+                              executor=ParallelExecutor("serial"))
+    surviving = {good[0]: results[0], good[1]: results[2]}
+    assert _snapshot(surviving) == _snapshot(expected)
+    driver.clear_cache()

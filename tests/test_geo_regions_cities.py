@@ -3,7 +3,7 @@
 import pytest
 
 from repro.geo.cities import City, WorldAtlas, default_atlas
-from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.coords import GeoPoint
 from repro.geo.regions import Continent, continent_of_country, known_countries
 
 

@@ -1,13 +1,12 @@
 """Tests for the CBG implementation — calibration, constraints, regions."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geo.cities import default_atlas
-from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.coords import haversine_km
 from repro.geo.landmarks import generate_landmarks
 from repro.geo.regions import Continent
 from repro.geoloc.cbg import (

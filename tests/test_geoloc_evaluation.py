@@ -3,8 +3,8 @@
 import pytest
 
 from repro.geo.cities import default_atlas
-from repro.geo.coords import GeoPoint, destination_point
-from repro.geoloc.evaluation import EvaluationReport, MethodScore, evaluate_methods
+from repro.geo.coords import destination_point
+from repro.geoloc.evaluation import evaluate_methods
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ breaks one, figures go subtly wrong long before a shape assertion fires.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

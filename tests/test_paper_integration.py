@@ -6,7 +6,6 @@ the "does the reproduction reproduce" layer; EXPERIMENTS.md records the
 measured numbers next to the paper's.
 """
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@ import random
 
 import pytest
 
-from repro.core.nonpreferred import nonpreferred_fraction
 from repro.core.sessions import build_sessions, flows_per_session_histogram
 from repro.geo.cities import default_atlas
 from repro.geo.coords import haversine_km
@@ -31,7 +30,6 @@ class TestMonitorLoss:
 
     def test_session_stats_stable_under_loss(self, lossy_world):
         clean = run_requests(lossy_world, miss_probability=0.0)
-        requests = None  # regenerate identically via the generator's seed
         lossy = run_requests(lossy_world, miss_probability=0.05)
         h_clean = flows_per_session_histogram(
             build_sessions(clean.dataset.records, 1.0)

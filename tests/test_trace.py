@@ -1,6 +1,5 @@
 """Tests for the trace package: records, monitor, log I/O."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
