@@ -11,10 +11,17 @@ every shape assertion is scale-free.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+# Benchmarks time real compute; a warm artifact cache would make the
+# numbers meaningless.  Opt in explicitly (REPRO_CACHE=on) to benchmark
+# warm-cache behaviour instead.
+os.environ.setdefault("REPRO_CACHE", "off")
+
+from repro.artifacts.store import default_store
 from repro.core.pipeline import StudyPipeline
 from repro.exec import ParallelExecutor
 from repro.reporting.timing import write_timing_json
@@ -39,7 +46,12 @@ def executor():
     yield executor
     if executor.stats:
         OUT_DIR.mkdir(exist_ok=True)
-        write_timing_json(executor.stats, OUT_DIR / f"timing_{executor.backend}.json")
+        store = default_store()
+        write_timing_json(
+            executor.stats,
+            OUT_DIR / f"timing_{executor.backend}.json",
+            cache=store.stats_summary() if store is not None else None,
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Cold-then-warm cache smoke test.
+
+Runs the five-dataset study twice against a fresh artifact cache and
+asserts the cache's two guarantees:
+
+1. **Soundness** — the warm run's per-dataset ``content_digest()`` lines
+   are byte-identical to the cold run's (an artifact is only ever a
+   transparent stand-in for recomputation).
+2. **Leverage** — the warm run is at least ``--min-speedup`` times faster
+   than the cold run (by default 5x).
+
+Each run is a separate subprocess, so the warm run demonstrates the
+*cross-process* cache: nothing survives in memory, only the store.
+Counters and timings land in ``benchmarks/out/cache_stats.json`` — the
+artifact the CI cache-smoke job uploads.
+
+Usage::
+
+    python scripts/cache_smoke.py [--scale 0.02] [--min-speedup 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_DIR = REPO / "benchmarks" / "out"
+
+STUDY_ARGS = ["study", "--landmarks", "215", "--full", "--digests"]
+
+
+def run_study(cache_dir: str, scale: float) -> tuple[float, dict, str]:
+    """One ``repro study`` subprocess; returns (seconds, digests, output)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.pop("REPRO_CACHE", None)  # the smoke must exercise the cache
+    command = [sys.executable, "-m", "repro"] + STUDY_ARGS + ["--scale", str(scale)]
+    started = time.perf_counter()
+    proc = subprocess.run(command, env=env, cwd=REPO, text=True,
+                          capture_output=True, check=True)
+    elapsed = time.perf_counter() - started
+    digests = {}
+    for line in proc.stdout.splitlines():
+        if line.startswith("digest "):
+            _, name, value = line.split()
+            digests[name] = value
+    if not digests:
+        raise SystemExit("no digest lines in study output — --digests broken?")
+    return elapsed, digests, proc.stdout
+
+
+def cache_stats(cache_dir: str) -> dict:
+    """The store's ``stats --json`` document, from a subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "cache", "stats", "--json"],
+        env=env, cwd=REPO, text=True, capture_output=True, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required cold/warm ratio (default 5.0)")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache_dir:
+        print(f"cache: {cache_dir}")
+        cold_s, cold_digests, _ = run_study(cache_dir, args.scale)
+        print(f"cold:  {cold_s:6.2f}s  ({len(cold_digests)} datasets)")
+        warm_s, warm_digests, _ = run_study(cache_dir, args.scale)
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"warm:  {warm_s:6.2f}s  (speedup {speedup:.1f}x)")
+        stats = cache_stats(cache_dir)
+
+    failures = []
+    if warm_digests != cold_digests:
+        failures.append(f"digests differ: cold={cold_digests} warm={warm_digests}")
+    if speedup < args.min_speedup:
+        failures.append(f"speedup {speedup:.2f}x below required "
+                        f"{args.min_speedup:.2f}x")
+    lifetime = stats["lifetime"]["total"]
+    if lifetime["hits"] < 1:
+        failures.append(f"warm run recorded no cache hits: {lifetime}")
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    report = {
+        "scale": args.scale,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+        "digests": cold_digests,
+        "digests_identical": warm_digests == cold_digests,
+        "cache": stats,
+    }
+    out_path = OUT_DIR / "cache_stats.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("cache smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

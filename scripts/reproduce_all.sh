@@ -14,6 +14,7 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 OUT_DIR="${1:-reproduction}"
 mkdir -p "$OUT_DIR"

@@ -1,0 +1,59 @@
+"""Content-addressed artifact store and stage-level memoization.
+
+The study's stages are deterministic functions of (config, master seed,
+code version) — PR 1's cross-backend byte-identity made that a tested
+contract — so their outputs are cacheable by content address.  This
+package supplies the three layers:
+
+* :mod:`repro.artifacts.keys` — canonical serialisation and sha256 stage
+  keys over (stage name, canonical config, code-version tag).
+* :mod:`repro.artifacts.store` — the process-safe on-disk store
+  (``REPRO_CACHE_DIR``, default ``~/.cache/repro``), with atomic writes,
+  durable hit/miss/bytes counters, ``clear()`` and LRU ``gc()``.
+* :mod:`repro.artifacts.memo` — the ``@memoized_stage`` decorator wiring
+  the two into any deterministic stage function.
+
+Warm re-runs and sweeps then pay only for changed stages: an N-variant
+sweep simulates the shared base world once, and a re-run of an unchanged
+study is pure artifact loads.
+"""
+
+from repro.artifacts.keys import (
+    CODE_VERSION,
+    CanonicalizationError,
+    ENV_CODE_VERSION,
+    canonicalize,
+    code_version,
+    stage_key,
+)
+from repro.artifacts.memo import memoized_stage
+from repro.artifacts.store import (
+    ArtifactStore,
+    CacheStats,
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE,
+    ENV_CACHE_DIR,
+    cache_enabled,
+    cache_root,
+    default_store,
+    reset_default_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "CanonicalizationError",
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE",
+    "ENV_CACHE_DIR",
+    "ENV_CODE_VERSION",
+    "cache_enabled",
+    "cache_root",
+    "canonicalize",
+    "code_version",
+    "default_store",
+    "memoized_stage",
+    "reset_default_store",
+    "stage_key",
+]

@@ -1,0 +1,381 @@
+"""Content-addressed, process-safe artifact store.
+
+Values are pickled stage outputs (simulation results, RTT matrices, metric
+rows, rendered reports) addressed by the sha256 keys of
+:func:`repro.artifacts.keys.stage_key`.  Writes go through a temp file in
+the destination directory followed by an atomic :func:`os.replace`, so any
+number of concurrent processes — e.g. the workers of a ``process``-backend
+:class:`~repro.exec.ParallelExecutor` — can share one cache directory
+without locks: a reader sees either the complete artifact or nothing.
+
+Layout, under ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``)::
+
+    objects/<k[:2]>/<k[2:]>.pkl   one pickled artifact per key
+    events.jsonl                  append-only hit/miss/put ledger
+
+The ledger makes counters durable across processes: every store instance
+appends one JSON line per cache event (POSIX ``O_APPEND`` keeps concurrent
+small appends intact), and ``repro cache stats`` aggregates them next to
+the on-disk object census.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Environment variable naming the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable switching the default store off (``0``/``off``/
+#: ``false``/``no``); anything else — including unset — leaves it on.
+ENV_CACHE = "REPRO_CACHE"
+
+#: Default cache location when ``REPRO_CACHE_DIR`` is unset.
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+_OFF_VALUES = ("0", "off", "false", "no")
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """In-process cache counters for one store instance.
+
+    Attributes:
+        hits: Artifacts served from disk.
+        misses: Lookups that found nothing (or a corrupt object).
+        puts: Artifacts written.
+        bytes_read: Total pickled bytes served from disk.
+        bytes_written: Total pickled bytes written.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a JSON-ready dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+@dataclass
+class StageCounters:
+    """Lifetime per-stage event tally (aggregated from the ledger)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _BY_EVENT = {"hit": "hits", "miss": "misses", "put": "puts"}
+
+    def record(self, event: str, num_bytes: int) -> None:
+        """Fold one ledger event into the tally."""
+        attr = self._BY_EVENT.get(event)
+        if attr is None:
+            return
+        setattr(self, attr, getattr(self, attr) + 1)
+        if event == "hit":
+            self.bytes_read += num_bytes
+        elif event == "put":
+            self.bytes_written += num_bytes
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a JSON-ready dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+def cache_enabled() -> bool:
+    """Whether the default store is enabled (``REPRO_CACHE``)."""
+    return os.environ.get(ENV_CACHE, "").strip().lower() not in _OFF_VALUES
+
+
+def cache_root() -> Path:
+    """The configured cache directory (not necessarily existing yet)."""
+    return Path(
+        os.environ.get(ENV_CACHE_DIR, "").strip() or DEFAULT_CACHE_DIR
+    ).expanduser()
+
+
+class ArtifactStore:
+    """A content-addressed pickle store rooted at one directory.
+
+    Args:
+        root: Cache directory; defaults to :func:`cache_root` (which reads
+            ``REPRO_CACHE_DIR``).  Created lazily on first write.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else cache_root()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------ addressing
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the pickled artifacts."""
+        return self.root / "objects"
+
+    @property
+    def ledger_path(self) -> Path:
+        """The append-only event ledger."""
+        return self.root / "events.jsonl"
+
+    def object_path(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives (existing or not)."""
+        if len(key) < 3:
+            raise ValueError(f"implausible cache key {key!r}")
+        return self.objects_dir / key[:2] / f"{key[2:]}.pkl"
+
+    # --------------------------------------------------------------- get/put
+
+    def has(self, key: str) -> bool:
+        """Whether an artifact exists for ``key`` (no counters touched)."""
+        return self.object_path(key).is_file()
+
+    def get(self, key: str, default: Any = None, stage: str = "") -> Any:
+        """Load the artifact for ``key``, or ``default`` on a miss.
+
+        A corrupt or truncated object (e.g. a machine died mid-write of a
+        pre-atomic-rename temp file that was then moved manually) counts as
+        a miss and is deleted.
+
+        Args:
+            key: The stage key.
+            default: Returned on a miss.
+            stage: Stage name for the event ledger.
+        """
+        path = self.object_path(key)
+        try:
+            blob = path.read_bytes()
+            value = pickle.loads(blob)
+        except FileNotFoundError:
+            self._record("miss", stage, 0)
+            return default
+        except Exception:
+            # Unreadable artifact: drop it so the next put heals the slot.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._record("miss", stage, 0)
+            return default
+        self.stats.bytes_read += len(blob)
+        self._record("hit", stage, len(blob))
+        try:
+            os.utime(path)  # LRU signal for gc()
+        except OSError:
+            pass
+        return value
+
+    def put(self, key: str, value: Any, stage: str = "") -> int:
+        """Atomically write the artifact for ``key``.
+
+        Returns:
+            The pickled size in bytes.
+
+        Raises:
+            pickle.PicklingError: For unpicklable values (nothing is
+                written).
+        """
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.bytes_written += len(blob)
+        self._record("put", stage, len(blob))
+        return len(blob)
+
+    def get_or_compute(self, key: str, compute, stage: str = "") -> Any:
+        """The artifact for ``key``, computing and storing it on a miss."""
+        value = self.get(key, _MISS, stage=stage)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(key, value, stage=stage)
+        return value
+
+    # -------------------------------------------------------------- counters
+
+    def _record(self, event: str, stage: str, num_bytes: int) -> None:
+        """Append one event to the ledger (best-effort) and count it."""
+        if event == "hit":
+            self.stats.hits += 1
+        elif event == "miss":
+            self.stats.misses += 1
+        elif event == "put":
+            self.stats.puts += 1
+        line = json.dumps(
+            {"event": event, "stage": stage, "bytes": num_bytes},
+            separators=(",", ":"),
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.ledger_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # stats are advisory; never fail the stage over them
+
+    def lifetime_counters(self) -> Dict[str, Any]:
+        """Aggregate the event ledger: totals plus a per-stage breakdown."""
+        total = StageCounters()
+        stages: Dict[str, StageCounters] = {}
+        try:
+            with open(self.ledger_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    event = entry.get("event", "")
+                    stage = entry.get("stage", "") or "(unlabelled)"
+                    num_bytes = int(entry.get("bytes", 0))
+                    total.record(event, num_bytes)
+                    stages.setdefault(stage, StageCounters()).record(event, num_bytes)
+        except OSError:
+            pass
+        return {
+            "total": total.as_dict(),
+            "stages": {name: c.as_dict() for name, c in sorted(stages.items())},
+        }
+
+    # ------------------------------------------------------------ management
+
+    def iter_objects(self) -> Iterator[Tuple[Path, int, float]]:
+        """Yield ``(path, size_bytes, mtime)`` for every stored artifact."""
+        if not self.objects_dir.is_dir():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                yield path, stat.st_size, stat.st_mtime
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Object count and total pickled bytes on disk."""
+        objects = 0
+        total_bytes = 0
+        for _, size, _ in self.iter_objects():
+            objects += 1
+            total_bytes += size
+        return {"objects": objects, "total_bytes": total_bytes}
+
+    def stats_summary(self) -> Dict[str, Any]:
+        """Everything ``repro cache stats`` reports, as one JSON-ready dict."""
+        return {
+            "root": str(self.root),
+            "disk": self.disk_stats(),
+            "session": self.stats.as_dict(),
+            "lifetime": self.lifetime_counters(),
+        }
+
+    def clear(self) -> int:
+        """Delete every artifact and the ledger; returns objects removed."""
+        removed = sum(1 for _ in self.iter_objects())
+        shutil.rmtree(self.objects_dir, ignore_errors=True)
+        try:
+            self.ledger_path.unlink()
+        except OSError:
+            pass
+        return removed
+
+    def gc(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used artifacts down to a size budget.
+
+        Hits refresh an artifact's mtime, so eviction order approximates
+        LRU across every process that shared the cache.
+
+        Args:
+            max_bytes: Target ceiling for the objects' total size.
+
+        Returns:
+            ``(objects_removed, bytes_freed)``.
+
+        Raises:
+            ValueError: For a negative budget.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries: List[Tuple[Path, int, float]] = list(self.iter_objects())
+        total = sum(size for _, size, _ in entries)
+        if total <= max_bytes:
+            return (0, 0)
+        entries.sort(key=lambda entry: entry[2])  # oldest mtime first
+        removed = 0
+        freed = 0
+        for path, size, _ in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return (removed, freed)
+
+
+_default: Optional[ArtifactStore] = None
+_default_config: Optional[Tuple[bool, str]] = None
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The process-wide store, or ``None`` when caching is disabled.
+
+    Re-resolved against the environment on every call so tests (and
+    subprocesses) can redirect or disable the cache by setting
+    ``REPRO_CACHE_DIR`` / ``REPRO_CACHE``; the instance — and its session
+    counters — survives as long as the configuration is unchanged.
+    """
+    global _default, _default_config
+    config = (cache_enabled(), str(cache_root()))
+    if config != _default_config:
+        _default = ArtifactStore(config[1]) if config[0] else None
+        _default_config = config
+    return _default
+
+
+def reset_default_store() -> None:
+    """Forget the cached default-store instance (tests)."""
+    global _default, _default_config
+    _default = None
+    _default_config = None

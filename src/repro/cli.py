@@ -7,10 +7,12 @@ Five subcommands cover the library's workflows::
     python -m repro sessions  --flows flows.tsv --gaps 1,5,10,60,300
     python -m repro coldvideo --nodes 45 --samples 25
     python -m repro whatif    --dataset EU1-ADSL --variants old-policy,flash-crowd
+    python -m repro cache     stats
 
 ``simulate`` writes a Tstat-style flow log; ``sessions`` re-analyses any
 such log (including ones you edit or generate elsewhere); the rest run the
-paper's composite experiments end to end.
+paper's composite experiments end to end.  ``cache`` inspects and manages
+the stage-artifact store that makes warm re-runs of the above incremental.
 """
 
 from __future__ import annotations
@@ -90,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--validate", action="store_true",
                          help="also print the methodology-validation report "
                               "(inference vs. simulator ground truth)")
+    p_study.add_argument("--digests", action="store_true",
+                         help="append one 'digest <dataset> <sha256>' line per "
+                              "dataset (byte-identity checks across runs)")
     _add_common(p_study)
 
     p_sessions = sub.add_parser("sessions", help="session analysis of a flow log")
@@ -139,6 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated ScenarioMetrics attributes to print",
     )
     _add_common(p_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or manage the stage-artifact cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="hit/miss/byte counters and the on-disk census"
+    )
+    p_cache_stats.add_argument("--json", action="store_true", dest="as_json",
+                               help="machine-readable output")
+    cache_sub.add_parser("clear", help="delete every cached artifact")
+    p_cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts down to a size budget"
+    )
+    p_cache_gc.add_argument("--max-size", required=True,
+                            help="size budget, e.g. 750K, 500M, 2G, or bytes")
     return parser
 
 
@@ -156,7 +177,16 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_study(args: argparse.Namespace, out) -> int:
+def _render_study(args: argparse.Namespace):
+    """Run the study and render its report.
+
+    Returns:
+        ``(text, digests)`` — the full report text and one
+        :meth:`~repro.trace.records.Dataset.content_digest` per dataset.
+    """
+    import io
+
+    buffer = io.StringIO()
     executor = executor_from_args(args)
     if args.shared:
         from repro.sim.multistudy import run_shared_study
@@ -171,27 +201,62 @@ def cmd_study(args: argparse.Namespace, out) -> int:
     if args.full:
         from repro.core.report import render_study_report
 
-        print(render_study_report(pipeline), file=out)
+        print(render_study_report(pipeline), file=buffer)
     else:
-        print(render_table1(pipeline.summaries.values()), file=out)
-        print("", file=out)
-        print(render_table2(pipeline.as_breakdowns.values()), file=out)
-        print("", file=out)
-        print(render_table3(pipeline.table3_rows), file=out)
-        print("", file=out)
+        print(render_table1(pipeline.summaries.values()), file=buffer)
+        print("", file=buffer)
+        print(render_table2(pipeline.as_breakdowns.values()), file=buffer)
+        print("", file=buffer)
+        print(render_table3(pipeline.table3_rows), file=buffer)
+        print("", file=buffer)
         for name in pipeline.dataset_names:
             report = pipeline.preferred_reports[name]
             print(
                 f"{name:12s} preferred={report.preferred_id:24s} "
                 f"share={report.byte_share(report.preferred_id):6.1%} "
                 f"non-preferred flows={pipeline.nonpreferred_fraction(name):6.1%}",
-                file=out,
+                file=buffer,
             )
     if args.validate:
         from repro.core.validation import render_validation, validate_study
 
-        print("", file=out)
-        print(render_validation(validate_study(pipeline, results)), file=out)
+        print("", file=buffer)
+        print(render_validation(validate_study(pipeline, results)), file=buffer)
+    digests = {name: result.dataset.content_digest()
+               for name, result in results.items()}
+    return buffer.getvalue(), digests
+
+
+def cmd_study(args: argparse.Namespace, out) -> int:
+    from repro.artifacts.keys import stage_key
+    from repro.artifacts.store import default_store
+
+    # The rendered report is itself a stage artifact: on a warm cache the
+    # whole study is one read, which is what makes re-runs startup-bound.
+    # Keyed by everything the text depends on; --parallel/--workers change
+    # only how the work is scheduled, never the bytes, so they stay out.
+    store = default_store()
+    payload = None
+    key = None
+    if store is not None:
+        key = stage_key("cli/study", {
+            "scale": args.scale,
+            "seed": args.seed,
+            "landmarks": args.landmarks,
+            "shared": bool(args.shared),
+            "full": bool(args.full),
+            "validate": bool(args.validate),
+        })
+        payload = store.get(key, None, stage="cli/study")
+    if payload is None:
+        text, digests = _render_study(args)
+        payload = {"text": text, "digests": digests}
+        if store is not None:
+            store.put(key, payload, stage="cli/study")
+    out.write(payload["text"])
+    if args.digests:
+        for name in sorted(payload["digests"]):
+            print(f"digest {name} {payload['digests'][name]}", file=out)
     return 0
 
 
@@ -300,6 +365,63 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``750K``, ``500M``, ``2G``, ``1048576``).
+
+    Raises:
+        ValueError: For malformed or negative sizes.
+    """
+    text = text.strip().upper()
+    if not text:
+        raise ValueError("empty size")
+    multiplier = 1
+    if text[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    size = float(text) * multiplier
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    return int(size)
+
+
+def cmd_cache(args: argparse.Namespace, out) -> int:
+    # Management works on the configured directory even with REPRO_CACHE=off
+    # (you should be able to clear a cache you have just disabled), hence a
+    # direct ArtifactStore rather than default_store().
+    from repro.artifacts.store import ArtifactStore
+
+    store = ArtifactStore()
+    if args.cache_command == "stats":
+        summary = store.stats_summary()
+        if args.as_json:
+            import json
+
+            print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+        else:
+            from repro.reporting.timing import render_cache_table
+
+            print(render_cache_table(summary), file=out)
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}", file=out)
+        return 0
+    if args.cache_command == "gc":
+        try:
+            budget = parse_size(args.max_size)
+        except ValueError as error:
+            print(f"bad --max-size: {error}", file=out)
+            return 2
+        removed, freed = store.gc(budget)
+        print(f"evicted {removed} artifacts ({freed / 1e6:.1f} MB) "
+              f"from {store.root}", file=out)
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "study": cmd_study,
@@ -309,6 +431,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "anonymize": cmd_anonymize,
     "sweep": cmd_sweep,
+    "cache": cmd_cache,
 }
 
 

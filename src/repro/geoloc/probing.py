@@ -12,6 +12,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.artifacts.keys import CanonicalizationError, stage_key
+from repro.artifacts.store import default_store
 from repro.exec.executor import ParallelExecutor, default_executor
 from repro.net.latency import LatencyModel, Site
 
@@ -81,11 +83,46 @@ class CampaignJob:
     probes: int = 10
     seed: int = 0
 
+    def cache_fingerprint(self) -> Dict[str, object]:
+        """Canonical identity for artifact-cache keys.
+
+        Target order is *preserved* (the campaign's RNG is shared across
+        targets, so reordering changes the measured values), and the
+        cosmetic ``label`` is excluded — two differently-labelled sweeps
+        of the same targets measure the same numbers.
+        """
+        return {
+            "latency": self.latency,
+            "origin": self.origin,
+            "targets": [[label, site] for label, site in self.targets.items()],
+            "probes": self.probes,
+            "seed": self.seed,
+        }
+
 
 def run_campaign_job(job: CampaignJob) -> Dict[object, float]:
     """Process-safe unit of work: run one campaign with a fresh prober."""
     prober = RttProber(job.latency, probes=job.probes, seed=job.seed)
     return prober.campaign(job.origin, job.targets)
+
+
+#: Distinct miss sentinel for store lookups.
+_CAMPAIGN_MISS = object()
+
+
+def _campaign_cache_key(job: CampaignJob) -> Optional[str]:
+    """The job's artifact key, or ``None`` when it cannot be derived.
+
+    A :class:`CampaignJob` is a frozen dataclass over canonicalisable
+    parts (the delay model carries a ``cache_fingerprint``; sites are
+    dataclasses), so the whole job canonicalises wholesale.  Exotic
+    target labels that resist canonicalisation just make the job
+    uncacheable — never wrongly shared.
+    """
+    try:
+        return stage_key("geoloc/campaign", job)
+    except CanonicalizationError:
+        return None
 
 
 def run_campaigns(
@@ -95,12 +132,38 @@ def run_campaigns(
     """Fan independent campaigns out over the executor.
 
     Every job owns its RNG, so campaigns never share random state and the
-    backends are interchangeable.
+    backends are interchangeable.  Measured matrices are small and
+    campaigns are re-run for every analysis pass, so each job resolves
+    against the artifact store first (stage ``"geoloc/campaign"``); only
+    unmeasured campaigns fan out.
 
     Returns:
         One measurement mapping per job, in input order.
     """
-    executor = default_executor(executor)
-    return executor.map(
-        run_campaign_job, list(jobs), labels=[job.label for job in jobs]
-    )
+    jobs = list(jobs)
+    store = default_store()
+    results: List[Optional[Dict[object, float]]] = [None] * len(jobs)
+    keys: List[Optional[str]] = [None] * len(jobs)
+    pending: List[int] = []
+    for i, job in enumerate(jobs):
+        if store is not None:
+            keys[i] = _campaign_cache_key(job)
+            if keys[i] is not None:
+                hit = store.get(keys[i], _CAMPAIGN_MISS, stage="geoloc/campaign")
+                if hit is not _CAMPAIGN_MISS:
+                    results[i] = hit
+                    continue
+        pending.append(i)
+
+    if pending:
+        executor = default_executor(executor)
+        fresh = executor.map(
+            run_campaign_job,
+            [jobs[i] for i in pending],
+            labels=[jobs[i].label for i in pending],
+        )
+        for i, measured in zip(pending, fresh):
+            results[i] = measured
+            if store is not None and keys[i] is not None:
+                store.put(keys[i], measured, stage="geoloc/campaign")
+    return results

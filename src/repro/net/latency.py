@@ -151,6 +151,21 @@ class LatencyModel:
                 raise ValueError(f"negative detour for {(a, b)}: {value}")
             self._overrides[_pair_key(a, b)] = value
 
+    def cache_fingerprint(self) -> Dict[str, object]:
+        """Canonical identity for artifact-cache keys.
+
+        Every RTT this model can produce is a deterministic function of
+        the seed and the pinned detours (plus the caller's RNG, which
+        campaign jobs key separately), so these two fields *are* the
+        model as far as cached measurements are concerned.
+        """
+        return {
+            "seed": self._seed,
+            "detours": sorted(
+                [a, b, value] for (a, b), value in self._overrides.items()
+            ),
+        }
+
     def path_profile(self, a: Site, b: Site) -> PathProfile:
         """Deterministic path profile for the unordered pair of groups."""
         pair = _pair_key(a.routing_group, b.routing_group)

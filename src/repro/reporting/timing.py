@@ -9,7 +9,7 @@ document the CI benchmark-smoke job uploads as an artifact.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.exec.executor import MapStats, TaskTiming
 from repro.reporting.tables import TextTable
@@ -23,8 +23,18 @@ def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMING
     return table.render()
 
 
-def timing_summary(stats: Sequence[MapStats]) -> Dict[str, Any]:
+def timing_summary(
+    stats: Sequence[MapStats],
+    cache: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Aggregate a run's map batches into one JSON-ready summary.
+
+    Args:
+        stats: Map-batch statistics from the executor.
+        cache: Optional artifact-cache summary (the shape returned by
+            :meth:`repro.artifacts.store.ArtifactStore.stats_summary`);
+            included verbatim under ``"cache"`` when given, so the timing
+            artifact records how much of the run was served from cache.
 
     Returns:
         A dict with the backend, wall/task seconds, the observed speedup
@@ -39,7 +49,7 @@ def timing_summary(stats: Sequence[MapStats]) -> Dict[str, Any]:
         for t in s.timings
     ]
     straggler = max(rows, key=lambda r: r["seconds"], default=None)
-    return {
+    summary: Dict[str, Any] = {
         "backend": backend,
         "batches": len(stats),
         "tasks": len(rows),
@@ -49,12 +59,56 @@ def timing_summary(stats: Sequence[MapStats]) -> Dict[str, Any]:
         "straggler": straggler,
         "timings": rows,
     }
+    if cache is not None:
+        summary["cache"] = cache
+    return summary
 
 
-def write_timing_json(stats: Sequence[MapStats], path) -> Dict[str, Any]:
+def write_timing_json(
+    stats: Sequence[MapStats],
+    path,
+    cache: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Write :func:`timing_summary` to ``path``; returns the summary."""
-    summary = timing_summary(stats)
+    summary = timing_summary(stats, cache=cache)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return summary
+
+
+def render_cache_table(summary: Dict[str, Any]) -> str:
+    """A text view of an artifact-cache ``stats_summary()`` document.
+
+    One row per stage plus a totals row, drawn from the store's lifetime
+    ledger; the session counters and disk footprint follow underneath.
+    """
+    columns = ["stage", "hits", "misses", "puts", "MB read", "MB written"]
+    table = TextTable(columns, title="ARTIFACT CACHE")
+    lifetime = summary.get("lifetime", {})
+    stages = lifetime.get("stages", {})
+    for stage in sorted(stages):
+        row = stages[stage]
+        table.add_row(
+            stage,
+            row.get("hits", 0),
+            row.get("misses", 0),
+            row.get("puts", 0),
+            f"{row.get('bytes_read', 0) / 1e6:.1f}",
+            f"{row.get('bytes_written', 0) / 1e6:.1f}",
+        )
+    totals = lifetime.get("total", {})
+    table.add_row(
+        "TOTAL",
+        totals.get("hits", 0),
+        totals.get("misses", 0),
+        totals.get("puts", 0),
+        f"{totals.get('bytes_read', 0) / 1e6:.1f}",
+        f"{totals.get('bytes_written', 0) / 1e6:.1f}",
+    )
+    disk = summary.get("disk", {})
+    objects_line = (
+        f"objects: {disk.get('objects', 0)} ({disk.get('total_bytes', 0) / 1e6:.1f} MB on disk)"
+    )
+    lines = [table.render(), "", f"root:    {summary.get('root', '?')}", objects_line]
+    return "\n".join(lines)

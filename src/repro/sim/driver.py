@@ -1,16 +1,21 @@
 """High-level drivers: run one scenario or the whole five-dataset study.
 
-Runs are memoised in-process by their full parameter tuple: tests and the
-per-figure benchmarks all analyse the same simulated week, exactly like the
-paper's authors analysing one set of collected traces many times.
+Runs are memoised at two levels.  In-process, by full parameter tuple:
+tests and the per-figure benchmarks all analyse the same simulated week,
+exactly like the paper's authors analysing one set of collected traces
+many times.  On disk, through the artifact store
+(:mod:`repro.artifacts`): a warm re-run — another process, another day —
+loads the pickled week instead of resimulating it, and process-backend
+workers share the cache through the filesystem.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.artifacts.memo import memoized_stage
 from repro.exec.executor import ParallelExecutor, default_executor
-from repro.sim.engine import SimulationResult, run_requests
+from repro.sim.engine import DEFAULT_MISS_PROBABILITY, SimulationResult, run_requests
 from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, ScenarioSpec, build_world
 from repro.trace.records import WEEK_S
 
@@ -63,20 +68,42 @@ def run_spec(
     key = (spec, scale, seed, duration_s, policy_kind)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    world = build_world(spec, scale=scale, seed=seed, duration_s=duration_s,
-                        policy_kind=policy_kind)
-    result = run_requests(world)
+    result = simulate_week(spec, scale, seed, duration_s, policy_kind)
     if use_cache:
         _CACHE[key] = result
     return result
 
 
-def _scenario_task(key: Tuple) -> SimulationResult:
-    """Process-safe unit of work: build one scenario's world and run it."""
-    spec, scale, seed, duration_s, policy_kind = key
+@memoized_stage("sim/run_week")
+def simulate_week(
+    spec: ScenarioSpec,
+    scale: float,
+    seed: int,
+    duration_s: float,
+    policy_kind: str,
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
+) -> SimulationResult:
+    """Build a scenario's world and run its week (disk-memoized).
+
+    This is the study's most expensive pure stage, so it is the cache's
+    anchor: every entry point — :func:`run_spec`, :func:`run_all` tasks,
+    :func:`repro.sim.engine.run_many`, what-if variants and sweep grid
+    points — keys the same ``"sim/run_week"`` artifacts, so a week
+    simulated by any of them is a warm hit for all of them.
+    """
     world = build_world(spec, scale=scale, seed=seed, duration_s=duration_s,
                         policy_kind=policy_kind)
-    return run_requests(world)
+    return run_requests(world, miss_probability=miss_probability)
+
+
+def _scenario_task(key: Tuple) -> SimulationResult:
+    """Process-safe unit of work: build one scenario's world and run it.
+
+    Runs through :func:`simulate_week`, so a process worker reads and
+    populates the shared on-disk artifact store.
+    """
+    spec, scale, seed, duration_s, policy_kind = key
+    return simulate_week(spec, scale, seed, duration_s, policy_kind)
 
 
 def run_all(

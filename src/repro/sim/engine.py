@@ -26,6 +26,10 @@ from repro.workload.requests import Request
 #: Cap on retained per-request performance samples (reservoir truncation).
 _MAX_PERF_SAMPLES = 50_000
 
+#: Default monitor classification-miss probability (shared by every
+#: engine entry point and by the cache keys over them).
+DEFAULT_MISS_PROBABILITY = 0.002
+
 
 @dataclass
 class SimulationResult:
@@ -65,7 +69,8 @@ class RequestProcessor:
     dataset.
     """
 
-    def __init__(self, world: ScenarioWorld, miss_probability: float = 0.002):
+    def __init__(self, world: ScenarioWorld,
+                 miss_probability: float = DEFAULT_MISS_PROBABILITY):
         self.world = world
         self.monitor = EdgeMonitor(
             world.vantage,
@@ -131,7 +136,7 @@ class RequestProcessor:
 def run_requests(
     world: ScenarioWorld,
     requests: Optional[Sequence[Request]] = None,
-    miss_probability: float = 0.002,
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
 ) -> SimulationResult:
     """Run a request stream through the world and collect the trace.
 
@@ -152,6 +157,10 @@ def run_requests(
     return processor.finish()
 
 
+#: Distinct miss sentinel (a cached stage value can legitimately be None).
+_RUN_MISS = object()
+
+
 def _run_world_task(args: Tuple[ScenarioWorld, float]) -> SimulationResult:
     """Process-safe unit of work: one vantage point's whole week."""
     world, miss_probability = args
@@ -160,7 +169,7 @@ def _run_world_task(args: Tuple[ScenarioWorld, float]) -> SimulationResult:
 
 def run_many(
     worlds: Sequence[ScenarioWorld],
-    miss_probability: float = 0.002,
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
     executor: Optional[ParallelExecutor] = None,
 ) -> List[SimulationResult]:
     """Run several independent worlds, one per executor task.
@@ -169,6 +178,14 @@ def run_many(
     its own ``(seed, scenario)`` path at build time), so the backends are
     interchangeable: results are byte-identical in every mode and arrive
     in input order.
+
+    Worlds built canonically by :func:`~repro.sim.scenarios.build_world`
+    (``policy_kind`` set) resolve against the on-disk artifact store
+    first, under the same ``"sim/run_week"`` keys
+    :func:`repro.sim.driver.simulate_week` writes; only the missing weeks
+    fan out.  A hand-modified world must clear ``world.policy_kind`` (set
+    it to ``None``) to opt out — the cache cannot see mutations made
+    after the build.
 
     Args:
         worlds: Independent built worlds (must not share a ``system``;
@@ -183,14 +200,40 @@ def run_many(
     Raises:
         ValueError: If two worlds share a CDN system.
     """
+    from repro.artifacts.store import default_store
+    from repro.sim.driver import simulate_week
+
     worlds = list(worlds)
     systems = {id(world.system) for world in worlds}
     if len(systems) != len(worlds):
         raise ValueError("run_many needs independent worlds; "
                          "use run_shared for a shared CdnSystem")
-    executor = default_executor(executor)
-    return executor.map(
-        _run_world_task,
-        [(world, miss_probability) for world in worlds],
-        labels=[world.spec.name for world in worlds],
-    )
+
+    store = default_store()
+    results: List[Optional[SimulationResult]] = [None] * len(worlds)
+    keys: List[Optional[str]] = [None] * len(worlds)
+    pending: List[int] = []
+    for i, world in enumerate(worlds):
+        if store is not None and world.policy_kind is not None:
+            keys[i] = simulate_week.cache_key(
+                world.spec, world.scale, world.seed, world.duration_s,
+                world.policy_kind, miss_probability,
+            )
+            hit = store.get(keys[i], _RUN_MISS, stage="sim/run_week")
+            if hit is not _RUN_MISS:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        executor = default_executor(executor)
+        fresh = executor.map(
+            _run_world_task,
+            [(worlds[i], miss_probability) for i in pending],
+            labels=[worlds[i].spec.name for i in pending],
+        )
+        for i, result in zip(pending, fresh):
+            results[i] = result
+            if store is not None and keys[i] is not None:
+                store.put(keys[i], result, stage="sim/run_week")
+    return results

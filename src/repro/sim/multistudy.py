@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.artifacts.memo import memoized_stage
+from repro.artifacts.store import default_store
 from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
 from repro.exec.executor import ParallelExecutor, default_executor
 from repro.cdn.cluster import CdnSystem
@@ -355,6 +357,7 @@ def run_shared(
     return {name: processor.finish() for name, processor in processors.items()}
 
 
+@memoized_stage("sim/shared_study", ignore=("executor",))
 def run_shared_study(
     scale: float = 0.02,
     seed: int = 7,
@@ -362,9 +365,21 @@ def run_shared_study(
     names: Sequence[str] = DATASET_NAMES,
     executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, SimulationResult]:
-    """Build the shared world and run the whole study in one call."""
+    """Build the shared world and run the whole study in one call.
+
+    Disk-memoized as one ``"sim/shared_study"`` artifact: the shared world
+    is causally coupled across vantage points, so the cacheable unit is
+    the whole interleaved study, keyed by ``(scale, seed, duration_s,
+    names)`` — never the individual facades.  The ``executor`` only
+    shapes how generation fans out, not what comes back, so it stays out
+    of the key.
+    """
     return run_shared(build_shared_worlds(scale, seed, duration_s, names),
                       executor=executor)
+
+
+#: Distinct miss sentinel for store lookups.
+_STUDY_MISS = object()
 
 
 def _shared_study_task(config: Dict) -> Dict[str, SimulationResult]:
@@ -398,6 +413,12 @@ def run_shared_studies(
         configs: One kwargs-style dict per study.
         executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
 
+    Warm configs resolve from the artifact store in the parent (their
+    ``"sim/shared_study"`` keys are pre-checked via
+    ``run_shared_study.cache_key``); only the missing studies fan out, so
+    an N-config sweep that shares M already-simulated configs pays for
+    exactly N - M studies.
+
     Returns:
         Per-config result mappings, in input order.
 
@@ -406,10 +427,29 @@ def run_shared_studies(
     """
     if not configs:
         raise ValueError("no study configs given")
-    executor = default_executor(executor)
-    labels = [
-        "study/" + ",".join(f"{k}={config[k]}" for k in sorted(config)
-                            if k != "names")
-        for config in configs
-    ]
-    return executor.map(_shared_study_task, list(configs), labels=labels)
+    configs = list(configs)
+    store = default_store()
+    results: List[Optional[Dict[str, SimulationResult]]] = [None] * len(configs)
+    pending: List[int] = []
+    for i, config in enumerate(configs):
+        if store is not None:
+            hit = store.get(run_shared_study.cache_key(**config), _STUDY_MISS,
+                            stage="sim/shared_study")
+            if hit is not _STUDY_MISS:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        executor = default_executor(executor)
+        labels = [
+            "study/" + ",".join(f"{k}={configs[i][k]}" for k in sorted(configs[i])
+                                if k != "names")
+            for i in pending
+        ]
+        fresh = executor.map(
+            _shared_study_task, [configs[i] for i in pending], labels=labels
+        )
+        for i, result in zip(pending, fresh):
+            results[i] = result
+    return results

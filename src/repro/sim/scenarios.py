@@ -15,7 +15,7 @@ a small scale that preserves every shape at a laptop-friendly cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
@@ -344,6 +344,11 @@ class ScenarioWorld:
         google_dc_ids: Ranked (DNS-eligible) data-center IDs.
         internal_dc_id: The in-ISP data center's ID (EU2 only).
         duration_s: Simulation window.
+        policy_kind: Selection-policy kind this world was built with, or
+            ``None`` for worlds not built canonically by
+            :func:`build_world` (shared-world facades, hand-assembled test
+            worlds).  ``None`` opts the world out of artifact caching —
+            see :meth:`build_config`.
     """
 
     spec: ScenarioSpec
@@ -358,6 +363,27 @@ class ScenarioWorld:
     google_dc_ids: List[str]
     internal_dc_id: Optional[str]
     duration_s: float
+    policy_kind: Optional[str] = None
+
+    def build_config(self) -> Optional[Dict]:
+        """The canonical build inputs, or ``None`` if not cacheable.
+
+        A world straight out of :func:`build_world` is a pure function of
+        ``(spec, scale, seed, duration_s, policy_kind)``, so running it is
+        cacheable under a key over exactly those inputs.  Worlds whose
+        ``policy_kind`` is ``None`` — shared-world facades (their results
+        depend on every co-resident vantage point) and hand-built test
+        worlds — return ``None`` and are never cached at this level.
+        """
+        if self.policy_kind is None:
+            return None
+        return {
+            "spec": self.spec,
+            "scale": self.scale,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "policy_kind": self.policy_kind,
+        }
 
     @property
     def probe_site(self) -> Site:
@@ -667,4 +693,5 @@ def build_world(
         google_dc_ids=[dc.dc_id for dc in ranked_dcs],
         internal_dc_id=None if internal_dc is None else internal_dc.dc_id,
         duration_s=duration_s,
+        policy_kind=policy_kind,
     )

@@ -139,6 +139,42 @@ class Dataset:
             digest.update(b"\n")
         return digest.hexdigest()
 
+    def summary_digest(self, gap_s: float = 10.0) -> str:
+        """SHA-256 over the *derived* view: header plus per-session summaries.
+
+        Complements :meth:`content_digest`: where that one certifies the raw
+        flow log byte for byte, this one certifies what the analysis layer
+        computes from it — session grouping included — so a cached artifact
+        can be checked against a fresh run at the level the paper's tables
+        are built on.  Two datasets with equal content digests always have
+        equal summary digests; the reverse can miss flow-level differences
+        that sessionisation absorbs.
+
+        Args:
+            gap_s: Session idle-gap threshold handed to
+                :func:`repro.core.sessions.build_sessions`.
+        """
+        from repro.core.sessions import build_sessions
+
+        digest = hashlib.sha256()
+        header = (
+            f"{self.name}|flows={len(self.records)}|bytes={self.total_bytes}"
+            f"|servers={len(self.server_ips)}|clients={len(self.client_ips)}"
+            f"|duration={self.duration_s!r}|gap={gap_s!r}"
+        )
+        digest.update(header.encode("ascii"))
+        digest.update(b"\n")
+        for session in build_sessions(self.records, gap_s=gap_s):
+            flows = session.flows
+            line = (
+                f"{session.client_ip}|{session.video_id}|{len(flows)}"
+                f"|{sum(r.num_bytes for r in flows)}"
+                f"|{flows[0].t_start!r}|{flows[-1].t_end!r}"
+            )
+            digest.update(line.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
     def filtered(self, keep_dst: Sequence[int]) -> "Dataset":
         """A copy keeping only flows to the given server addresses.
 

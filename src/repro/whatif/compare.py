@@ -3,14 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.exec.executor import ParallelExecutor, default_executor
+from repro.exec.executor import ParallelExecutor
 from repro.reporting.tables import TextTable, format_fraction
-from repro.sim.driver import run_spec
 from repro.sim.scenarios import PAPER_SCENARIOS
 from repro.trace.records import WEEK_S
-from repro.whatif.metrics import ScenarioMetrics, extract_metrics
+from repro.whatif.metrics import ScenarioMetrics, resolve_metric_rows
 from repro.whatif.variants import Variant, baseline_variant
 
 
@@ -54,14 +53,6 @@ class ComparisonReport:
         return getattr(self.row(label), metric) - getattr(self.baseline, metric)
 
 
-def _variant_task(args: Tuple) -> ScenarioMetrics:
-    """Process-safe unit of work: one variant's week, reduced to metrics."""
-    variant_spec, scale, seed, duration_s, policy_kind, label = args
-    result = run_spec(variant_spec, scale=scale, seed=seed,
-                      duration_s=duration_s, policy_kind=policy_kind)
-    return extract_metrics(result, label=label)
-
-
 def compare_variants(
     scenario_name: str,
     variants: Sequence[Variant],
@@ -74,6 +65,9 @@ def compare_variants(
 
     Variants share a master seed but build independent worlds, so they
     fan out over the executor with byte-identical rows on every backend.
+    Rows are disk-memoized (``"whatif/metrics"``): re-comparing with an
+    extra variant simulates only the new variant, and a variant equal to
+    a previously swept grid point reuses that point's row outright.
 
     Args:
         scenario_name: One of the five paper scenarios.
@@ -97,15 +91,14 @@ def compare_variants(
     if not any(v.name == "baseline" for v in ordered):
         ordered.insert(0, baseline_variant())
 
-    executor = default_executor(executor)
     tasks = [
         (variant.apply(spec), scale, seed, duration_s, variant.policy_kind,
          variant.name)
         for variant in ordered
     ]
-    rows = executor.map(
-        _variant_task, tasks,
-        labels=[f"{scenario_name}/{variant.name}" for variant in ordered],
+    rows = resolve_metric_rows(
+        tasks, [f"{scenario_name}/{variant.name}" for variant in ordered],
+        executor,
     )
     report = ComparisonReport(scenario_name=scenario_name)
     report.rows.extend(rows)

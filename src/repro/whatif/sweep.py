@@ -11,15 +11,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
-from repro.exec.executor import ParallelExecutor, default_executor
+from repro.exec.executor import ParallelExecutor
 from repro.reporting.series import Series
-from repro.sim.driver import run_spec
 from repro.sim.engine import SimulationResult
 from repro.sim.scenarios import PAPER_SCENARIOS, ScenarioSpec
 from repro.trace.records import WEEK_S
-from repro.whatif.metrics import ScenarioMetrics, extract_metrics
+from repro.whatif.metrics import ScenarioMetrics, resolve_metric_rows
 
 #: A metric extractor: simulation result → one number.
 MetricFn = Callable[[SimulationResult], float]
@@ -69,18 +68,6 @@ class SweepResult:
         return 0
 
 
-def _grid_point_task(args: Tuple) -> ScenarioMetrics:
-    """Process-safe unit of work: simulate one grid point, keep metrics.
-
-    Only the compact metric row crosses the process boundary — the full
-    week's trace stays in the worker.
-    """
-    point_spec, scale, seed, duration_s, policy_kind, label = args
-    run = run_spec(point_spec, scale=scale, seed=seed, duration_s=duration_s,
-                   policy_kind=policy_kind)
-    return extract_metrics(run, label=label)
-
-
 def sweep_parameter(
     scenario_name: str,
     parameter: str,
@@ -95,7 +82,9 @@ def sweep_parameter(
 
     Grid points differ only in the swept knob and never interact, so they
     fan out over the executor — one simulated week per task, identical
-    metric rows on every backend.
+    metric rows on every backend.  Rows are disk-memoized
+    (``"whatif/metrics"``): a re-sweep over an extended grid only
+    simulates the new points.
 
     Args:
         scenario_name: One of the paper scenarios.
@@ -124,15 +113,13 @@ def sweep_parameter(
     if parameter not in field_names:
         raise ValueError(f"ScenarioSpec has no field {parameter!r}")
 
-    executor = default_executor(executor)
     tasks = []
     for value in values:
         point_spec = dataclasses.replace(spec, **{parameter: value})
         tasks.append((point_spec, scale, seed, duration_s, policy_kind,
                       f"{parameter}={value}"))
-    rows = executor.map(
-        _grid_point_task, tasks,
-        labels=[f"{scenario_name}/{task[-1]}" for task in tasks],
+    rows = resolve_metric_rows(
+        tasks, [f"{scenario_name}/{task[-1]}" for task in tasks], executor
     )
     result = SweepResult(scenario_name=scenario_name, parameter=parameter)
     for value, row in zip(values, rows):

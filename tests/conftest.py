@@ -8,7 +8,14 @@ of collected traces many times.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# The suite must never read or populate the user's real artifact cache
+# (~/.cache/repro): stale artifacts would mask regressions, and test runs
+# would pollute it.  Cache tests opt back in with monkeypatched env vars.
+os.environ["REPRO_CACHE"] = "off"
 
 from repro.core.pipeline import StudyPipeline
 from repro.sim.driver import run_all

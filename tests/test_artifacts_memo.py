@@ -1,0 +1,102 @@
+"""``@memoized_stage`` decorator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts.keys import CanonicalizationError
+from repro.artifacts.memo import memoized_stage
+from repro.artifacts.store import reset_default_store
+
+
+@pytest.fixture
+def cache_env(monkeypatch, tmp_path):
+    """A live cache rooted in a fresh temp dir (conftest disables it)."""
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_default_store()
+    yield tmp_path
+    reset_default_store()
+
+
+def make_stage(calls, stage="test/stage", ignore=()):
+    @memoized_stage(stage, ignore=ignore)
+    def compute(a, b=10, executor=None):
+        calls.append((a, b))
+        return {"sum": a + b}
+
+    return compute
+
+
+class TestMemoizedStage:
+    def test_second_call_is_served_from_disk(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        assert compute(1, b=2) == {"sum": 3}
+        assert compute(1, b=2) == {"sum": 3}
+        assert calls == [(1, 2)]
+
+    def test_positional_and_keyword_spellings_share_a_key(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        assert compute(1, 2) == compute(b=2, a=1)
+        assert calls == [(1, 2)]
+
+    def test_defaults_participate_in_the_key(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        assert compute(1) == compute(1, b=10)
+        assert calls == [(1, 10)]
+
+    def test_different_inputs_miss(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        compute(1)
+        compute(2)
+        assert calls == [(1, 10), (2, 10)]
+
+    def test_ignored_params_do_not_split_the_key(self, cache_env):
+        calls = []
+        compute = make_stage(calls, ignore=("executor",))
+        compute(1, executor="serial")
+        compute(1, executor="process")
+        assert calls == [(1, 10)]
+
+    def test_unignored_uncanonicalisable_param_raises(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        with pytest.raises(CanonicalizationError):
+            compute(1, executor=object())
+
+    def test_unknown_ignore_name_rejected_at_decoration(self):
+        with pytest.raises(ValueError):
+            @memoized_stage("s", ignore=("nope",))
+            def fn(a):
+                return a
+
+    def test_cache_key_does_no_work(self, cache_env):
+        calls = []
+        compute = make_stage(calls)
+        key = compute.cache_key(1, b=2)
+        assert len(key) == 64
+        assert calls == []
+        assert key == compute.cache_key(b=2, a=1)
+
+    def test_stage_attribute_exposed(self, cache_env):
+        assert make_stage([]).stage == "test/stage"
+
+    def test_disabled_store_calls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        reset_default_store()
+        calls = []
+        compute = make_stage(calls)
+        compute(1)
+        compute(1)
+        assert calls == [(1, 10), (1, 10)]
+        reset_default_store()
+
+    def test_artifacts_land_in_the_configured_dir(self, cache_env):
+        compute = make_stage([])
+        compute(5)
+        objects = list((cache_env / "objects").rglob("*.pkl"))
+        assert len(objects) == 1

@@ -1,0 +1,277 @@
+"""Artifact store and cache-key derivation unit tests."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pickle
+
+import pytest
+
+from repro.artifacts.keys import (
+    CODE_VERSION,
+    CanonicalizationError,
+    canonicalize,
+    code_version,
+    stage_key,
+)
+from repro.artifacts.store import (
+    ArtifactStore,
+    cache_enabled,
+    cache_root,
+    default_store,
+    reset_default_store,
+)
+
+
+class Colour(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+class Fingerprinted:
+    """Identity is the fingerprint, not the (unpicklable) internals."""
+
+    def __init__(self, ident):
+        self.ident = ident
+        self.junk = lambda: None  # uncanonicalisable on purpose
+
+    def cache_fingerprint(self):
+        return {"ident": self.ident}
+
+
+# ---------------------------------------------------------------------- keys
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert canonicalize(value) == value
+
+    def test_enum_by_class_and_member(self):
+        assert canonicalize(Colour.RED) == {"__enum__": "Colour", "member": "RED"}
+        assert canonicalize(Colour.RED) != canonicalize(Colour.BLUE)
+
+    def test_dict_is_order_insensitive(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_set_is_order_insensitive(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_dataclass_carries_type_name(self):
+        form = canonicalize(Point(1, 2))
+        assert form["__dataclass__"] == "Point"
+        assert form["fields"]["x"] == 1
+
+    def test_fingerprint_beats_structural_form(self):
+        # A fingerprinted dataclass must use its fingerprint, not its fields.
+        @dataclasses.dataclass
+        class Job:
+            order: tuple
+
+            def cache_fingerprint(self):
+                return {"order": list(self.order)}
+
+        form = canonicalize(Job(("b", "a")))
+        assert form["__fingerprint__"] == "Job"
+        assert form["value"]["__map__"][0][1] == ["b", "a"]
+
+    def test_unknown_types_raise(self):
+        with pytest.raises(CanonicalizationError):
+            canonicalize(object())
+
+    def test_bytes_canonicalise_by_hex(self):
+        assert canonicalize(b"\x00\xff") == {"__bytes__": "00ff"}
+
+    def test_canonical_form_is_json_serialisable(self):
+        form = canonicalize({"p": Point(1, 2), "c": Colour.BLUE,
+                             "f": Fingerprinted([1, 2])})
+        json.dumps(form, sort_keys=True)
+
+
+class TestStageKey:
+    def test_stable_and_hex(self):
+        key = stage_key("sim/run_week", {"seed": 7})
+        assert key == stage_key("sim/run_week", {"seed": 7})
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_stage_name_differentiates(self):
+        config = {"seed": 7}
+        assert stage_key("a", config) != stage_key("b", config)
+
+    def test_version_differentiates(self):
+        config = {"seed": 7}
+        assert (stage_key("s", config, version="1")
+                != stage_key("s", config, version="2"))
+
+    def test_env_version_override(self, monkeypatch):
+        baseline = stage_key("s", {})
+        monkeypatch.setenv("REPRO_CODE_VERSION", CODE_VERSION + "-next")
+        assert code_version() == CODE_VERSION + "-next"
+        assert stage_key("s", {}) != baseline
+
+
+# --------------------------------------------------------------------- store
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestArtifactStore:
+    def test_roundtrip(self, store):
+        assert not store.has(KEY)
+        store.put(KEY, {"rows": [1, 2, 3]}, stage="s")
+        assert store.has(KEY)
+        assert store.get(KEY, stage="s") == {"rows": [1, 2, 3]}
+
+    def test_miss_returns_default(self, store):
+        sentinel = object()
+        assert store.get(KEY, sentinel, stage="s") is sentinel
+        assert store.stats.misses == 1
+
+    def test_sharded_layout(self, store):
+        path = store.object_path(KEY)
+        assert path.parent.name == "ab"
+        assert path.suffix == ".pkl"
+
+    def test_corrupt_object_is_a_miss_and_healed(self, store):
+        path = store.object_path(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert store.get(KEY, None, stage="s") is None
+        assert not path.exists()
+        store.put(KEY, 42, stage="s")
+        assert store.get(KEY, stage="s") == 42
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put(KEY, list(range(100)), stage="s")
+        leftovers = list(store.objects_dir.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_unpicklable_value_writes_nothing(self, store):
+        with pytest.raises(Exception):
+            store.put(KEY, lambda: None, stage="s")
+        assert not store.has(KEY)
+
+    def test_get_or_compute(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert store.get_or_compute(KEY, compute, stage="s") == "value"
+        assert store.get_or_compute(KEY, compute, stage="s") == "value"
+        assert len(calls) == 1
+
+    def test_session_counters(self, store):
+        store.get(KEY, None, stage="s")
+        size = store.put(KEY, "x" * 100, stage="s")
+        store.get(KEY, None, stage="s")
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.puts == 1
+        assert store.stats.bytes_written == size
+        assert store.stats.bytes_read == size
+
+    def test_ledger_survives_instances(self, store):
+        store.put(KEY, 1, stage="alpha")
+        store.get(KEY, None, stage="alpha")
+        other = ArtifactStore(store.root)
+        lifetime = other.lifetime_counters()
+        assert lifetime["total"]["puts"] == 1
+        assert lifetime["total"]["hits"] == 1
+        assert lifetime["stages"]["alpha"]["hits"] == 1
+
+    def test_stats_summary_shape(self, store):
+        store.put(KEY, 1, stage="s")
+        summary = store.stats_summary()
+        assert set(summary) == {"root", "disk", "session", "lifetime"}
+        assert summary["disk"]["objects"] == 1
+        assert summary["disk"]["total_bytes"] > 0
+
+    def test_clear(self, store):
+        store.put(KEY, 1, stage="s")
+        assert store.clear() == 1
+        assert not store.has(KEY)
+        assert store.disk_stats()["objects"] == 0
+
+    def test_gc_evicts_oldest_first(self, store, tmp_path):
+        import os
+
+        keys = [f"{i:02d}" + "0" * 62 for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, "x" * 1000, stage="s")
+            os.utime(store.object_path(key), (1000.0 + i, 1000.0 + i))
+        size = store.object_path(keys[0]).stat().st_size
+        removed, freed = store.gc(max_bytes=2 * size)
+        assert removed == 1
+        assert freed == size
+        assert not store.has(keys[0])  # oldest gone
+        assert store.has(keys[1]) and store.has(keys[2])
+
+    def test_gc_noop_under_budget(self, store):
+        store.put(KEY, 1, stage="s")
+        assert store.gc(max_bytes=10 ** 9) == (0, 0)
+
+    def test_gc_negative_budget_raises(self, store):
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-1)
+
+    def test_hit_refreshes_mtime(self, store):
+        import os
+
+        store.put(KEY, 1, stage="s")
+        path = store.object_path(KEY)
+        os.utime(path, (1000.0, 1000.0))
+        store.get(KEY, stage="s")
+        assert path.stat().st_mtime > 1000.0
+
+    def test_values_use_highest_pickle_protocol(self, store):
+        store.put(KEY, {"a": 1}, stage="s")
+        blob = store.object_path(KEY).read_bytes()
+        assert pickle.loads(blob) == {"a": 1}
+
+
+class TestDefaultStore:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        reset_default_store()
+        assert not cache_enabled()
+        assert default_store() is None
+
+    def test_enabled_uses_env_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_default_store()
+        store = default_store()
+        assert store is not None
+        assert store.root == tmp_path
+        assert cache_root() == tmp_path
+        # Same config -> same instance (session counters survive).
+        assert default_store() is store
+        reset_default_store()
+
+    def test_reconfigured_env_rebuilds(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        reset_default_store()
+        first = default_store()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        second = default_store()
+        assert first is not second
+        assert second.root == tmp_path / "b"
+        reset_default_store()

@@ -72,6 +72,52 @@ class TestDataset:
             Dataset(name="X", vantage=vantage, records=[], duration_s=0.0)
 
 
+class TestSummaryDigest:
+    @pytest.fixture
+    def vantage(self):
+        return build_world(PAPER_SCENARIOS["EU1-Campus"], scale=0.01, seed=2).vantage
+
+    def dataset(self, vantage, records=None, **kwargs):
+        if records is None:
+            records = [record(), record(vid="BBBBBBBBBBB", t0=100.0, t1=110.0)]
+        return Dataset(name="X", vantage=vantage, records=records, **kwargs)
+
+    def test_deterministic(self, vantage):
+        ds = self.dataset(vantage)
+        assert ds.summary_digest() == ds.summary_digest()
+        assert len(ds.summary_digest()) == 64
+
+    def test_differs_from_content_digest(self, vantage):
+        ds = self.dataset(vantage)
+        assert ds.summary_digest() != ds.content_digest()
+
+    def test_equal_content_implies_equal_summary(self, vantage):
+        a = self.dataset(vantage)
+        b = self.dataset(vantage)
+        assert a.content_digest() == b.content_digest()
+        assert a.summary_digest() == b.summary_digest()
+
+    def test_session_splitting_change_changes_digest(self, vantage):
+        # Two flows of one video 20 s apart: one session at gap 30,
+        # two sessions at gap 5.
+        records = [record(t0=0.0, t1=10.0), record(t0=30.0, t1=40.0)]
+        ds = self.dataset(vantage, records=records)
+        assert ds.summary_digest(gap_s=30.0) != ds.summary_digest(gap_s=5.0)
+
+    def test_flow_change_changes_digest(self, vantage):
+        base = self.dataset(vantage)
+        moved = self.dataset(
+            vantage,
+            records=[record(), record(vid="BBBBBBBBBBB", t0=101.0, t1=111.0)],
+        )
+        assert base.summary_digest() != moved.summary_digest()
+
+    def test_header_fields_participate(self, vantage):
+        week = self.dataset(vantage)
+        day = self.dataset(vantage, duration_s=86400.0)
+        assert week.summary_digest() != day.summary_digest()
+
+
 class TestMonitor:
     @pytest.fixture
     def vantage(self):
