@@ -24,7 +24,7 @@ os.environ.setdefault("REPRO_CACHE", "off")
 from repro.artifacts.store import default_store
 from repro.core.pipeline import StudyPipeline
 from repro.exec import ParallelExecutor
-from repro.reporting.timing import write_timing_json
+from repro.reporting.timing import phases_summary, write_timing_json
 from repro.sim.driver import run_all
 
 BENCH_SCALE = 0.02
@@ -51,6 +51,7 @@ def executor():
             executor.stats,
             OUT_DIR / f"timing_{executor.backend}.json",
             cache=store.stats_summary() if store is not None else None,
+            phases=phases_summary(),
         )
 
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Kernel-parity check: the full study report must be byte-identical under
+# REPRO_KERNELS=python and REPRO_KERNELS=numpy.
+#
+# Runs `repro study --full --digests` once per backend (cache off, so
+# both runs really execute) and diffs the complete output — every table,
+# every figure, and the per-dataset content digests.  Any drift between
+# the Python spec and the columnar kernels fails the job.
+#
+# Usage: scripts/kernel_parity.sh [scale] [landmarks]
+set -euo pipefail
+
+SCALE="${1:-0.01}"
+LANDMARKS="${2:-60}"
+OUT_DIR="benchmarks/out"
+mkdir -p "$OUT_DIR"
+
+export REPRO_CACHE=off
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+for backend in python numpy; do
+    echo "== repro study (kernels=$backend, scale=$SCALE, landmarks=$LANDMARKS) =="
+    python -m repro study --scale "$SCALE" --landmarks "$LANDMARKS" \
+        --full --digests --kernels "$backend" \
+        > "$OUT_DIR/study_kernels_${backend}.txt"
+done
+
+if diff -u "$OUT_DIR/study_kernels_python.txt" "$OUT_DIR/study_kernels_numpy.txt"; then
+    echo "kernel parity OK: study output byte-identical on both backends"
+else
+    echo "kernel parity FAILED: python and numpy backends disagree" >&2
+    exit 1
+fi

@@ -18,6 +18,7 @@ the stage-artifact store that makes warm re-runs of the above incremental.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -29,6 +30,7 @@ from repro.core.pipeline import StudyPipeline
 from repro.core.sessions import flows_per_session_histogram, build_sessions
 from repro.core.summary import render_table1
 from repro.sim.driver import run_all, run_scenario
+from repro.trace.columnar import KERNELS_ENV
 from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, build_world
 from repro.trace.logio import read_flow_log, write_flow_log
 from repro.whatif.compare import compare_variants, render_comparison
@@ -45,6 +47,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "results are identical on every backend)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker bound for --parallel (default: CPU count)")
+    parser.add_argument("--kernels", choices=("python", "numpy"), default=None,
+                        help="analysis kernel backend (default: $REPRO_KERNELS, "
+                             "else numpy when available; outputs are identical "
+                             "on both backends)")
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[ParallelExecutor]:
@@ -449,6 +455,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         out = sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "kernels", None):
+        # The backend never changes outputs, so it stays out of every
+        # artifact-cache key (same contract as REPRO_EXECUTOR).
+        os.environ[KERNELS_ENV] = args.kernels
     return _COMMANDS[args.command](args, out)
 
 

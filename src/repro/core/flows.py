@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Union
 
 from repro.reporting.series import Cdf
+from repro.trace.columnar import FlowTable, active_table, as_records
 from repro.trace.records import FlowRecord
 
 #: The paper's control/video size threshold, bytes.
@@ -56,11 +57,22 @@ class FlowClasses:
 
 
 def classify_flows(
-    records: Iterable[FlowRecord], threshold: int = CONTROL_FLOW_THRESHOLD_BYTES
+    records: Union[Iterable[FlowRecord], FlowTable],
+    threshold: int = CONTROL_FLOW_THRESHOLD_BYTES,
 ) -> FlowClasses:
     """Split flows into control and video populations."""
+    table = active_table(records)
+    if table is not None:
+        import numpy as np
+
+        mask = table.columns().num_bytes >= threshold
+        recs = table.records
+        return FlowClasses(
+            control=[recs[i] for i in np.flatnonzero(~mask).tolist()],
+            video=[recs[i] for i in np.flatnonzero(mask).tolist()],
+        )
     classes = FlowClasses()
-    for record in records:
+    for record in as_records(records):
         if record.num_bytes >= threshold:
             classes.video.append(record)
         else:
@@ -68,12 +80,15 @@ def classify_flows(
     return classes
 
 
-def flow_size_cdf(records: Sequence[FlowRecord]) -> Cdf:
+def flow_size_cdf(records: Union[Sequence[FlowRecord], FlowTable]) -> Cdf:
     """The CDF of flow sizes (Figure 4).
 
     Raises:
         ValueError: On an empty dataset.
     """
+    table = active_table(records)
+    if table is not None:
+        return Cdf(table.columns().num_bytes)
     return Cdf(r.num_bytes for r in records)
 
 

@@ -13,26 +13,48 @@ Two ends of the popularity spectrum drive application-layer redirection:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.nonpreferred import video_flow_preference
+from repro.core.nonpreferred import preference_masks, video_flow_preference
 from repro.core.preferred import PreferredDcReport
 from repro.core.sessions import Session
 from repro.geoloc.clustering import ServerMap
 from repro.reporting.series import Cdf, Series, hourly_counts
+from repro.trace.columnar import FlowTable, active_table
 from repro.trace.records import FlowRecord
 
 
 def nonpreferred_requests_per_video(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
 ) -> Dict[str, int]:
     """Per-video count of video flows served by non-preferred data centers.
 
     Only videos downloaded at least once from a non-preferred data center
-    appear (the Figure 13 population).
+    appear (the Figure 13 population), keyed in first-download order.
     """
+    table = active_table(records)
+    if table is not None:
+        import numpy as np
+
+        is_video, verdict = preference_masks(table, report, server_map)
+        cols = table.columns()
+        nonpref_idx = np.flatnonzero(is_video & (verdict == 0))
+        per_code = np.bincount(
+            cols.video_code[nonpref_idx], minlength=len(cols.video_ids)
+        )
+        # np.unique's return_index gives the first occurrence, so sorting
+        # by it reproduces the spec's dict-insertion (first-download) order
+        # — sorted() ties on equal counts break on that order downstream.
+        seen_codes, first = np.unique(
+            cols.video_code[nonpref_idx], return_index=True
+        )
+        order = np.argsort(first, kind="stable")
+        return {
+            str(cols.video_ids[code]): int(per_code[code])
+            for code in seen_codes[order].tolist()
+        }
     split = video_flow_preference(records, report, server_map)
     counts: Dict[str, int] = {}
     for flow in split[False]:
@@ -41,7 +63,7 @@ def nonpreferred_requests_per_video(
 
 
 def nonpreferred_video_cdf(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
 ) -> Cdf:
@@ -104,13 +126,16 @@ class HotVideoSeries:
 
 
 def top_nonpreferred_videos(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
     num_hours: int,
     top_k: int = 4,
 ) -> List[HotVideoSeries]:
     """Figure 14: time lines of the top-k non-preferred-download videos.
+
+    One grouped pass accumulates every top video's hourly counts (the old
+    implementation rescanned all flows once per video).
 
     Raises:
         ValueError: If no video was ever served from non-preferred.
@@ -120,16 +145,48 @@ def top_nonpreferred_videos(
         raise ValueError("no non-preferred video downloads")
     top = sorted(counts, key=lambda v: -counts[v])[:top_k]
 
-    split = video_flow_preference(records, report, server_map)
-    all_flows = split[True] + split[False]
+    table = active_table(records)
+    if table is not None:
+        import numpy as np
+
+        is_video, verdict = preference_masks(table, report, server_map)
+        cols = table.columns()
+        # Grouped histogram: one bincount over (video rank, hour) pairs.
+        rank = np.full(len(cols.video_ids), -1, dtype=np.int64)
+        rank[np.searchsorted(cols.video_ids, np.asarray(top))] = np.arange(len(top))
+        flow_rank = rank[cols.video_code]
+        in_window = (cols.hour >= 0) & (cols.hour < num_hours)
+        sel = is_video & (flow_rank >= 0) & in_window
+
+        def grouped(mask) -> "np.ndarray":
+            keys = flow_rank[mask] * num_hours + cols.hour[mask]
+            return np.bincount(keys, minlength=len(top) * num_hours).reshape(
+                len(top), num_hours
+            )
+
+        totals = grouped(sel & (verdict != -1))
+        nonprefs = grouped(sel & (verdict == 0))
+        total_by_video = {v: totals[i].tolist() for i, v in enumerate(top)}
+        nonpref_by_video = {v: nonprefs[i].tolist() for i, v in enumerate(top)}
+    else:
+        split = video_flow_preference(records, report, server_map)
+        top_set = set(top)
+        total_by_video = {v: [0] * num_hours for v in top}
+        nonpref_by_video = {v: [0] * num_hours for v in top}
+        for preferred, flows in ((True, split[True]), (False, split[False])):
+            for f in flows:
+                if f.video_id not in top_set:
+                    continue
+                hour = f.hour
+                if 0 <= hour < num_hours:
+                    total_by_video[f.video_id][hour] += 1
+                    if not preferred:
+                        nonpref_by_video[f.video_id][hour] += 1
+
     series: List[HotVideoSeries] = []
     for video_id in top:
-        total_hours = hourly_counts(
-            (f.hour for f in all_flows if f.video_id == video_id), num_hours
-        )
-        nonpref_hours = hourly_counts(
-            (f.hour for f in split[False] if f.video_id == video_id), num_hours
-        )
+        total_hours = total_by_video[video_id]
+        nonpref_hours = nonpref_by_video[video_id]
         all_series = Series(label=f"{video_id} all")
         nonpref_series = Series(label=f"{video_id} non-preferred")
         for hour in range(num_hours):
@@ -172,7 +229,7 @@ class ServerLoadReport:
 
 
 def preferred_server_load(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
     num_hours: int,
@@ -183,6 +240,39 @@ def preferred_server_load(
     since the trace measures "requests served by each server (identified by
     its IP address)".
     """
+    avg_series = Series(label=f"{report.dataset_name} avg")
+    max_series = Series(label=f"{report.dataset_name} max")
+
+    table = active_table(records)
+    if table is not None:
+        import numpy as np
+
+        # verdict == 1 is exactly "dst_ip clustered into the preferred
+        # data center" — the preferred_ips set of the spec path.
+        _, verdict = preference_masks(table, report, server_map)
+        cols = table.columns()
+        _, dst_code = table.dst_codes()
+        num_servers = int(dst_code.max()) + 1 if len(dst_code) else 0
+        if num_servers:
+            sel = (verdict == 1) & (cols.hour >= 0) & (cols.hour < num_hours)
+            keys = cols.hour[sel] * num_servers + dst_code[sel]
+            matrix = np.bincount(keys, minlength=num_hours * num_servers).reshape(
+                num_hours, num_servers
+            )
+        else:
+            matrix = np.zeros((num_hours, 1), dtype=np.int64)
+        sums = matrix.sum(axis=1)
+        active = (matrix > 0).sum(axis=1)
+        peaks = matrix.max(axis=1)
+        for hour in range(num_hours):
+            if active[hour]:
+                avg_series.append(float(hour), int(sums[hour]) / int(active[hour]))
+                max_series.append(float(hour), float(int(peaks[hour])))
+            else:
+                avg_series.append(float(hour), 0.0)
+                max_series.append(float(hour), 0.0)
+        return ServerLoadReport(avg_per_hour=avg_series, max_per_hour=max_series)
+
     preferred_ips = {
         ip
         for ip in server_map.by_ip
@@ -195,8 +285,6 @@ def preferred_server_load(
         bucket = per_hour_server.setdefault(record.hour, {})
         bucket[record.dst_ip] = bucket.get(record.dst_ip, 0) + 1
 
-    avg_series = Series(label=f"{report.dataset_name} avg")
-    max_series = Series(label=f"{report.dataset_name} max")
     for hour in range(num_hours):
         bucket = per_hour_server.get(hour, {})
         if bucket:

@@ -9,14 +9,15 @@ mechanisms are in place".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import math
 
-from repro.core.nonpreferred import video_flow_preference
+from repro.core.nonpreferred import preference_masks, video_flow_preference
 from repro.core.preferred import PreferredDcReport
 from repro.geoloc.clustering import ServerMap
 from repro.reporting.series import Series, hourly_counts
+from repro.trace.columnar import FlowTable, active_table
 from repro.trace.records import FlowRecord
 
 
@@ -85,15 +86,22 @@ class LoadBalanceReport:
 
 
 def analyze_load_balance(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
     num_hours: int,
 ) -> LoadBalanceReport:
     """Build Figure 11's series for one dataset."""
-    split = video_flow_preference(records, report, server_map)
-    local_hours = hourly_counts((f.hour for f in split[True]), num_hours)
-    other_hours = hourly_counts((f.hour for f in split[False]), num_hours)
+    table = active_table(records)
+    if table is not None:
+        is_video, verdict = preference_masks(table, report, server_map)
+        hour = table.columns().hour
+        local_hours = hourly_counts(hour[is_video & (verdict == 1)], num_hours)
+        other_hours = hourly_counts(hour[is_video & (verdict == 0)], num_hours)
+    else:
+        split = video_flow_preference(records, report, server_map)
+        local_hours = hourly_counts((f.hour for f in split[True]), num_hours)
+        other_hours = hourly_counts((f.hour for f in split[False]), num_hours)
 
     local_fraction = Series(label=f"{report.dataset_name} local fraction")
     flows_per_hour = Series(label=f"{report.dataset_name} video flows/h")

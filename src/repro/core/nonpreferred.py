@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.flows import is_video_flow
+from repro.core.flows import CONTROL_FLOW_THRESHOLD_BYTES, is_video_flow
 from repro.core.preferred import PreferredDcReport
 from repro.core.sessions import Session
 from repro.geoloc.clustering import ServerMap
 from repro.reporting.series import Cdf, hourly_fraction
+from repro.trace.columnar import FlowTable, active_table, as_records
 from repro.trace.records import FlowRecord
 
 
@@ -47,8 +48,36 @@ def _preferred_test(
     return test
 
 
+def preference_masks(
+    table: FlowTable, report: PreferredDcReport, server_map: ServerMap
+) -> Tuple["object", "object"]:
+    """Columnar flow classification shared by the Figure 9-16 kernels.
+
+    Returns:
+        ``(is_video, verdict)`` — per-flow boolean video mask (the size
+        heuristic) and per-flow int8 verdict: ``1`` preferred, ``0``
+        non-preferred, ``-1`` unclustered.  The verdict is resolved once
+        per distinct server address, not once per flow.
+    """
+    import numpy as np
+
+    cols = table.columns()
+    dst_unique, dst_code = table.dst_codes()
+    preferred_id = report.preferred_id
+    by_ip = server_map.by_ip
+    per_ip = np.empty(len(dst_unique), dtype=np.int8)
+    for i, ip in enumerate(dst_unique.tolist()):
+        cluster = by_ip.get(ip)
+        if cluster is None:
+            per_ip[i] = -1
+        else:
+            per_ip[i] = 1 if cluster.cluster_id == preferred_id else 0
+    is_video = cols.num_bytes >= CONTROL_FLOW_THRESHOLD_BYTES
+    return is_video, per_ip[dst_code]
+
+
 def video_flow_preference(
-    records: Iterable[FlowRecord],
+    records: Union[Iterable[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
 ) -> Dict[bool, List[FlowRecord]]:
@@ -58,9 +87,19 @@ def video_flow_preference(
         ``{True: flows to preferred, False: flows to non-preferred}``;
         flows to unclustered servers are dropped.
     """
+    table = active_table(records)
+    if table is not None:
+        import numpy as np
+
+        is_video, verdict = preference_masks(table, report, server_map)
+        recs = table.records
+        return {
+            True: [recs[i] for i in np.flatnonzero(is_video & (verdict == 1)).tolist()],
+            False: [recs[i] for i in np.flatnonzero(is_video & (verdict == 0)).tolist()],
+        }
     test = _preferred_test(report, server_map)
     split: Dict[bool, List[FlowRecord]] = {True: [], False: []}
-    for record in records:
+    for record in as_records(records):
         if not is_video_flow(record):
             continue
         verdict = test(record.dst_ip)
@@ -71,7 +110,7 @@ def video_flow_preference(
 
 
 def hourly_nonpreferred_cdf(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
     num_hours: int,
@@ -89,19 +128,30 @@ def hourly_nonpreferred_cdf(
     Raises:
         ValueError: If no hour has enough flows.
     """
-    split = video_flow_preference(records, report, server_map)
-    all_hours = [f.hour for f in split[True]] + [f.hour for f in split[False]]
-    fractions = hourly_fraction(
-        (f.hour for f in split[False]), all_hours, num_hours,
-        min_denominator=min_flows_per_hour,
-    )
+    table = active_table(records)
+    if table is not None:
+        is_video, verdict = preference_masks(table, report, server_map)
+        hour = table.columns().hour
+        fractions = hourly_fraction(
+            hour[is_video & (verdict == 0)],
+            hour[is_video & (verdict != -1)],
+            num_hours,
+            min_denominator=min_flows_per_hour,
+        )
+    else:
+        split = video_flow_preference(records, report, server_map)
+        all_hours = [f.hour for f in split[True]] + [f.hour for f in split[False]]
+        fractions = hourly_fraction(
+            (f.hour for f in split[False]), all_hours, num_hours,
+            min_denominator=min_flows_per_hour,
+        )
     if not fractions:
         raise ValueError("no hour has enough video flows")
     return Cdf(fractions.values())
 
 
 def nonpreferred_fraction(
-    records: Sequence[FlowRecord],
+    records: Union[Sequence[FlowRecord], FlowTable],
     report: PreferredDcReport,
     server_map: ServerMap,
 ) -> float:
@@ -110,11 +160,18 @@ def nonpreferred_fraction(
     Raises:
         ValueError: With no classifiable video flows.
     """
-    split = video_flow_preference(records, report, server_map)
-    total = len(split[True]) + len(split[False])
+    table = active_table(records)
+    if table is not None:
+        is_video, verdict = preference_masks(table, report, server_map)
+        nonpref = int((is_video & (verdict == 0)).sum())
+        total = nonpref + int((is_video & (verdict == 1)).sum())
+    else:
+        split = video_flow_preference(records, report, server_map)
+        nonpref = len(split[False])
+        total = len(split[True]) + nonpref
     if total == 0:
         raise ValueError("no classifiable video flows")
-    return len(split[False]) / total
+    return nonpref / total
 
 
 @dataclass(frozen=True)

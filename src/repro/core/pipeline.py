@@ -40,8 +40,10 @@ from repro.geoloc.clustering import ServerMap, cluster_servers
 from repro.geoloc.probing import CampaignJob, RttProber, run_campaigns
 from repro.net.latency import Site
 from repro.reporting.series import Cdf, Series
+from repro.reporting.timing import phase_timer
 from repro.sim.engine import SimulationResult
 from repro.sim.seeding import derive_seed
+from repro.trace.columnar import FlowTable
 from repro.trace.records import Dataset, FlowRecord
 
 
@@ -166,6 +168,19 @@ class StudyPipeline:
             out[name] = [r for r in result.dataset.records if r.dst_ip in keep]
         return out
 
+    @cached_property
+    def focus_tables(self) -> Dict[str, FlowTable]:
+        """Columnar views over :attr:`focus_records` (one per dataset).
+
+        The tables wrap the same record lists — they iterate identically
+        under the pure-Python kernels — and materialise their numpy
+        columns lazily, the first time a ``REPRO_KERNELS=numpy`` analysis
+        touches them.  Every kernel-backed analysis method below hands
+        these (not the raw lists) to the core modules, so the columnar
+        work is done once per dataset, not once per figure.
+        """
+        return {name: FlowTable(records) for name, records in self.focus_records.items()}
+
     # ------------------------------------------------------------------- F2
 
     @cached_property
@@ -252,19 +267,21 @@ class StudyPipeline:
 
     def flow_size_cdf(self, name: str) -> Cdf:
         """One Figure 4 curve."""
-        return flows.flow_size_cdf(self.dataset(name).records)
+        return flows.flow_size_cdf(self.dataset(name).columnar())
 
     def gap_sensitivity(self, name: str) -> Dict[float, Dict[str, float]]:
         """Figure 5: flows-per-session vs. the gap T."""
-        return sessions_mod.gap_sensitivity(self.focus_records[name])
+        with phase_timer("analysis/gap_sweep"):
+            return sessions_mod.gap_sensitivity(self.focus_tables[name])
 
     @cached_property
     def sessions(self) -> Dict[str, List[sessions_mod.Session]]:
         """Per-dataset video sessions at the configured gap."""
-        return {
-            name: sessions_mod.build_sessions(self.focus_records[name], self._gap_s)
-            for name in self._results
-        }
+        with phase_timer("analysis/sessions"):
+            return {
+                name: sessions_mod.build_sessions(self.focus_tables[name], self._gap_s)
+                for name in self._results
+            }
 
     def session_histogram(self, name: str) -> Dict[str, float]:
         """One Figure 6 bar group."""
@@ -275,22 +292,23 @@ class StudyPipeline:
     @cached_property
     def preferred_reports(self) -> Dict[str, preferred_mod.PreferredDcReport]:
         """Per-dataset preferred-data-center reports."""
-        reports: Dict[str, preferred_mod.PreferredDcReport] = {}
-        for name, result in self._results.items():
-            reports[name] = preferred_mod.analyze_preferred(
-                result.dataset,
-                self.server_map,
-                self.rtt_campaigns[name],
-                focus_ips=self.focus_ips[name],
-            )
-        return reports
+        with phase_timer("analysis/preferred"):
+            reports: Dict[str, preferred_mod.PreferredDcReport] = {}
+            for name, result in self._results.items():
+                reports[name] = preferred_mod.analyze_preferred(
+                    result.dataset,
+                    self.server_map,
+                    self.rtt_campaigns[name],
+                    focus_ips=self.focus_ips[name],
+                )
+            return reports
 
     # ------------------------------------------------------- F9, F10
 
     def fig9_cdf(self, name: str, min_flows_per_hour: int = 5) -> Cdf:
         """One Figure 9 curve."""
         return nonpreferred.hourly_nonpreferred_cdf(
-            self.focus_records[name],
+            self.focus_tables[name],
             self.preferred_reports[name],
             self.server_map,
             self.dataset(name).num_hours,
@@ -300,7 +318,7 @@ class StudyPipeline:
     def nonpreferred_fraction(self, name: str) -> float:
         """Overall non-preferred video-flow share for one dataset."""
         return nonpreferred.nonpreferred_fraction(
-            self.focus_records[name], self.preferred_reports[name], self.server_map
+            self.focus_tables[name], self.preferred_reports[name], self.server_map
         )
 
     def one_flow_breakdown(self, name: str) -> nonpreferred.OneFlowBreakdown:
@@ -342,7 +360,7 @@ class StudyPipeline:
     def load_balance(self, name: str) -> loadbalance.LoadBalanceReport:
         """One dataset's Figure 11 panels."""
         return loadbalance.analyze_load_balance(
-            self.focus_records[name],
+            self.focus_tables[name],
             self.preferred_reports[name],
             self.server_map,
             self.dataset(name).num_hours,
@@ -361,28 +379,31 @@ class StudyPipeline:
 
     def fig13_cdf(self, name: str) -> Cdf:
         """One Figure 13 curve."""
-        return hotspots.nonpreferred_video_cdf(
-            self.focus_records[name], self.preferred_reports[name], self.server_map
-        )
+        with phase_timer("analysis/hotspots"):
+            return hotspots.nonpreferred_video_cdf(
+                self.focus_tables[name], self.preferred_reports[name], self.server_map
+            )
 
     def hot_videos(self, name: str, top_k: int = 4) -> List[hotspots.HotVideoSeries]:
         """Figure 14's hot-video time lines."""
-        return hotspots.top_nonpreferred_videos(
-            self.focus_records[name],
-            self.preferred_reports[name],
-            self.server_map,
-            self.dataset(name).num_hours,
-            top_k=top_k,
-        )
+        with phase_timer("analysis/hotspots"):
+            return hotspots.top_nonpreferred_videos(
+                self.focus_tables[name],
+                self.preferred_reports[name],
+                self.server_map,
+                self.dataset(name).num_hours,
+                top_k=top_k,
+            )
 
     def server_load(self, name: str) -> hotspots.ServerLoadReport:
         """Figure 15's load panels."""
-        return hotspots.preferred_server_load(
-            self.focus_records[name],
-            self.preferred_reports[name],
-            self.server_map,
-            self.dataset(name).num_hours,
-        )
+        with phase_timer("analysis/hotspots"):
+            return hotspots.preferred_server_load(
+                self.focus_tables[name],
+                self.preferred_reports[name],
+                self.server_map,
+                self.dataset(name).num_hours,
+            )
 
     def hot_server(self, name: str, video_id: Optional[str] = None) -> hotspots.HotServerReport:
         """Figure 16: the hot video's server, with session-pattern split.

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.reporting.tables import TextTable, format_bytes
+from repro.trace.columnar import use_numpy
 from repro.trace.records import Dataset
 
 
@@ -46,6 +47,17 @@ class DatasetSummary:
 
 def summarize(dataset: Dataset) -> DatasetSummary:
     """Compute the Table I row for one dataset."""
+    if use_numpy():
+        import numpy as np
+
+        cols = dataset.columnar().columns()
+        return DatasetSummary(
+            name=dataset.name,
+            flows=len(dataset),
+            volume_bytes=int(cols.num_bytes.sum()),
+            num_servers=int(np.unique(cols.dst_ip).size),
+            num_clients=int(np.unique(cols.src_ip).size),
+        )
     return DatasetSummary(
         name=dataset.name,
         flows=len(dataset),

@@ -11,19 +11,29 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+try:  # optional: array fast paths for the columnar kernels
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
 
 class Cdf:
     """An empirical cumulative distribution function.
 
     Args:
-        values: Sample values (any iterable of floats).
+        values: Sample values (any iterable of floats, or a numpy array —
+            arrays are sorted in C and converted back to built-in floats,
+            so the resulting CDF is identical either way).
 
     Raises:
         ValueError: On an empty sample.
     """
 
     def __init__(self, values: Iterable[float]):
-        self._values: List[float] = sorted(float(v) for v in values)
+        if _np is not None and isinstance(values, _np.ndarray):
+            self._values = _np.sort(values.astype(float, copy=False)).tolist()
+        else:
+            self._values: List[float] = sorted(float(v) for v in values)
         if not self._values:
             raise ValueError("cannot build a CDF from no samples")
 
@@ -134,12 +144,18 @@ def hourly_counts(hours: Iterable[int], num_hours: int) -> List[int]:
     """Count items per trace hour.
 
     Args:
-        hours: Hour index of each item.
+        hours: Hour index of each item (an iterable, or a numpy integer
+            array — counted with ``bincount`` and converted back to a
+            plain list of ints, so the result is identical either way).
         num_hours: Total hours in the window.
 
     Returns:
         A list of length ``num_hours`` of counts.
     """
+    if _np is not None and isinstance(hours, _np.ndarray):
+        h = hours.astype(_np.int64, copy=False)
+        h = h[(h >= 0) & (h < num_hours)]
+        return _np.bincount(h, minlength=num_hours).tolist()
     counts = [0] * num_hours
     for hour in hours:
         if 0 <= hour < num_hours:

@@ -9,10 +9,45 @@ document the CI benchmark-smoke job uploads as an artifact.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Sequence
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Sequence
 
 from repro.exec.executor import MapStats, TaskTiming
 from repro.reporting.tables import TextTable
+
+#: Accumulated wall time per named analysis phase (see :func:`phase_timer`).
+_PHASES: Dict[str, float] = {}
+
+
+@contextmanager
+def phase_timer(name: str) -> Iterator[None]:
+    """Accumulate the wall time of a named phase of the run.
+
+    The pipeline wraps its analysis stages (session building, the gap
+    sweep, the hot-spot scans) with this, so ``timing_*.json`` breaks out
+    where a study's analysis time goes — the view that makes the
+    ``REPRO_KERNELS`` speedup visible.  Nested/ repeated uses of one name
+    accumulate.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _PHASES[name] = _PHASES.get(name, 0.0) + time.perf_counter() - start
+
+
+def phases_summary(reset: bool = False) -> Dict[str, float]:
+    """A copy of the accumulated per-phase wall times, name → seconds."""
+    snapshot = {name: round(seconds, 6) for name, seconds in sorted(_PHASES.items())}
+    if reset:
+        _PHASES.clear()
+    return snapshot
+
+
+def reset_phases() -> None:
+    """Drop all accumulated phase timings (tests and fresh runs)."""
+    _PHASES.clear()
 
 
 def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMINGS") -> str:
@@ -26,6 +61,7 @@ def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMING
 def timing_summary(
     stats: Sequence[MapStats],
     cache: Optional[Dict[str, Any]] = None,
+    phases: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     """Aggregate a run's map batches into one JSON-ready summary.
 
@@ -35,6 +71,10 @@ def timing_summary(
             :meth:`repro.artifacts.store.ArtifactStore.stats_summary`);
             included verbatim under ``"cache"`` when given, so the timing
             artifact records how much of the run was served from cache.
+        phases: Optional per-phase wall times (the shape returned by
+            :func:`phases_summary`); included under ``"phases"`` when
+            non-empty, alongside the active kernel backend, so the
+            analysis-phase breakdown lands in ``timing_*.json``.
 
     Returns:
         A dict with the backend, wall/task seconds, the observed speedup
@@ -61,6 +101,11 @@ def timing_summary(
     }
     if cache is not None:
         summary["cache"] = cache
+    if phases:
+        from repro.trace.columnar import kernels_backend
+
+        summary["phases"] = dict(phases)
+        summary["kernels"] = kernels_backend()
     return summary
 
 
@@ -68,9 +113,10 @@ def write_timing_json(
     stats: Sequence[MapStats],
     path,
     cache: Optional[Dict[str, Any]] = None,
+    phases: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     """Write :func:`timing_summary` to ``path``; returns the summary."""
-    summary = timing_summary(stats, cache=cache)
+    summary = timing_summary(stats, cache=cache, phases=phases)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")

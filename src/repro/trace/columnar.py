@@ -1,0 +1,329 @@
+"""Columnar flow tables: the numpy kernel layer behind the analysis hot path.
+
+The analysis modules (:mod:`repro.core.sessions`, :mod:`repro.core.flows`,
+:mod:`repro.core.preferred`, :mod:`repro.core.hotspots`,
+:mod:`repro.core.nonpreferred`, :mod:`repro.core.summary`) are written as
+record-at-a-time Python over :class:`~repro.trace.records.FlowRecord`
+dataclasses — an executable spec of the paper's Section VI methodology.  At
+higher ``--scale`` that spec becomes the bottleneck: a cold ``repro study``
+spends most of its time iterating flows in the interpreter.
+
+This module adds the columnar alternative those modules switch to:
+
+* :class:`FlowTable` — a lazy, cached materialization of a record sequence
+  into numpy column arrays (``src_ip``, ``dst_ip``, ``num_bytes``,
+  ``t_start``, ``t_end``, integer-coded ``video_id`` / ``resolution``, and
+  the derived ``hour``);
+* :class:`SessionIndex` — the gap-*independent* part of session building
+  (one lexsort over (client, video, start, end) plus the group-wise
+  running-max horizon), shared by every gap value of the Figure 5 sweep;
+* small grouped-aggregation helpers (:func:`group_sum_int64`,
+  :func:`histogram_from_sizes`) used by the per-hour / per-DC / per-video
+  kernels.
+
+The switch is ``REPRO_KERNELS=python|numpy`` (numpy is the default, with a
+silent fallback to python when numpy is not importable).  Both backends
+produce **identical** results — same session lists, same figure series,
+byte-identical digests — so the backend never enters artifact-cache keys,
+exactly like the execution backend (``REPRO_EXECUTOR``) before it.
+
+Exactness notes, because parity is a hard requirement:
+
+* Session horizons are computed by cumulative-max over *ranks* of ``t_end``
+  (integers), not over offset-shifted floats, so the horizon handed to the
+  ``t_start - horizon < gap`` comparison is the exact same double the
+  Python loop sees.
+* Byte totals are aggregated with int64 ``np.add.reduceat``, never float
+  weights, so sums are exact at any scale.
+* Kernel outputs are converted back to built-in ``int``/``float``/``str``
+  at the boundary (``repr()`` of ``np.float64`` differs from ``float`` on
+  numpy >= 2, which would corrupt digests).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.trace.records import FlowRecord
+
+try:  # numpy is an optional dependency of the analysis layer
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: Environment variable selecting the kernel backend.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Valid backend names.
+KERNEL_BACKENDS = ("python", "numpy")
+
+
+def kernels_backend() -> str:
+    """The active kernel backend (``"python"`` or ``"numpy"``).
+
+    Reads :data:`KERNELS_ENV` on every call so tests and the CLI can switch
+    backends mid-process.  ``numpy`` silently degrades to ``python`` when
+    numpy cannot be imported.
+
+    Raises:
+        ValueError: For an unrecognised backend name.
+    """
+    value = os.environ.get(KERNELS_ENV, "numpy").strip().lower() or "numpy"
+    if value not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown {KERNELS_ENV}={value!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if value == "numpy" and not HAVE_NUMPY:
+        return "python"
+    return value
+
+
+def use_numpy() -> bool:
+    """Whether the numpy kernels are active."""
+    return kernels_backend() == "numpy"
+
+
+class _Columns:
+    """The materialised column arrays of a :class:`FlowTable`."""
+
+    __slots__ = (
+        "src_ip",
+        "dst_ip",
+        "num_bytes",
+        "t_start",
+        "t_end",
+        "hour",
+        "video_ids",
+        "video_code",
+        "resolutions",
+        "resolution_code",
+    )
+
+    def __init__(self, records: Sequence[FlowRecord]):
+        n = len(records)
+        self.src_ip = np.fromiter((r.src_ip for r in records), np.int64, count=n)
+        self.dst_ip = np.fromiter((r.dst_ip for r in records), np.int64, count=n)
+        self.num_bytes = np.fromiter((r.num_bytes for r in records), np.int64, count=n)
+        self.t_start = np.fromiter((r.t_start for r in records), np.float64, count=n)
+        self.t_end = np.fromiter((r.t_end for r in records), np.float64, count=n)
+        # int(t // 3600.0): the float is already floored, so astype's
+        # truncation equals FlowRecord.hour exactly.
+        self.hour = (self.t_start // 3600.0).astype(np.int64)
+        if n:
+            # np.unique sorts lexicographically, matching Python's string
+            # order, so code order == sorted(video_id) order.
+            self.video_ids, self.video_code = np.unique(
+                np.asarray([r.video_id for r in records]), return_inverse=True
+            )
+            self.resolutions, self.resolution_code = np.unique(
+                np.asarray([r.resolution for r in records]), return_inverse=True
+            )
+        else:
+            self.video_ids = np.empty(0, dtype="U1")
+            self.video_code = np.empty(0, dtype=np.int64)
+            self.resolutions = np.empty(0, dtype="U1")
+            self.resolution_code = np.empty(0, dtype=np.int64)
+        self.video_code = self.video_code.astype(np.int64, copy=False)
+        self.resolution_code = self.resolution_code.astype(np.int64, copy=False)
+
+
+class SessionIndex:
+    """The gap-independent skeleton of session building.
+
+    Section VI-A groups flows by (client, video) and breaks a group into
+    sessions wherever ``t_start - horizon >= T``, with ``horizon`` the
+    group-wide running max of ``t_end``.  Everything except the final
+    comparison is independent of T, so one index serves the whole Figure 5
+    sweep ``T in {1, 5, 10, 60, 300}``.
+
+    Attributes:
+        order: Indices sorting the table by (client, video, t_start, t_end),
+            stable — the exact order the Python spec visits flows in.
+        new_group: Boolean per sorted row: first row of a (client, video)
+            group.
+        t_start: ``t_start`` in sorted order.
+        t_end: ``t_end`` in sorted order.
+        horizon_prev: Per sorted row, the running max of ``t_end`` over the
+            *earlier* rows of the same group (undefined on group heads,
+            which always start a session).
+    """
+
+    __slots__ = ("order", "new_group", "t_start", "t_end", "horizon_prev")
+
+    def __init__(self, cols: _Columns):
+        n = len(cols.t_start)
+        if n == 0:
+            self.order = np.empty(0, dtype=np.int64)
+            self.new_group = np.empty(0, dtype=bool)
+            self.t_start = np.empty(0, dtype=np.float64)
+            self.t_end = np.empty(0, dtype=np.float64)
+            self.horizon_prev = np.empty(0, dtype=np.float64)
+            return
+        order = np.lexsort((cols.t_end, cols.t_start, cols.video_code, cols.src_ip))
+        src = cols.src_ip[order]
+        vid = cols.video_code[order]
+        ts = cols.t_start[order]
+        te = cols.t_end[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (src[1:] != src[:-1]) | (vid[1:] != vid[:-1])
+        # Exact group-wise running max of t_end: rank the values (ints),
+        # cumulative-max the ranks with a per-group int64 offset, then map
+        # back.  No float arithmetic touches the horizon, so it is
+        # bit-identical to the Python loop's max() chain.
+        grp = np.cumsum(new_group) - 1
+        uniq_te, te_rank = np.unique(te, return_inverse=True)
+        base = grp.astype(np.int64) * np.int64(len(uniq_te))
+        cummax_rank = np.maximum.accumulate(te_rank.astype(np.int64) + base) - base
+        horizon_prev = np.empty(n, dtype=np.float64)
+        horizon_prev[0] = -np.inf
+        horizon_prev[1:] = uniq_te[cummax_rank[:-1]]
+        self.order = order
+        self.new_group = new_group
+        self.t_start = ts
+        self.t_end = te
+        self.horizon_prev = horizon_prev
+
+    def session_starts(self, gap_s: float) -> "np.ndarray":
+        """Boolean per sorted row: the row opens a new session at gap T."""
+        starts = self.new_group.copy()
+        cont = ~self.new_group
+        starts[cont] = (self.t_start[cont] - self.horizon_prev[cont]) >= gap_s
+        return starts
+
+    def session_sizes(self, gap_s: float) -> "np.ndarray":
+        """Flows per session at gap T, in session order."""
+        starts = self.session_starts(gap_s)
+        if not len(starts):
+            return np.empty(0, dtype=np.int64)
+        return np.bincount(np.cumsum(starts) - 1)
+
+
+class FlowTable:
+    """A columnar view over a flow-record sequence.
+
+    The table keeps the original record list (so the pure-Python spec can
+    iterate it unchanged — a ``FlowTable`` is a ``Sequence[FlowRecord]``)
+    and materialises the numpy columns lazily, the first time a kernel
+    asks.  Build one per dataset / filtered record list and pass it to the
+    analysis functions; they use the arrays when ``REPRO_KERNELS=numpy``
+    and fall back to iterating the records otherwise.
+    """
+
+    __slots__ = ("records", "_cols", "_session_index", "_dst_unique", "_dst_code")
+
+    def __init__(self, records: Union[Sequence[FlowRecord], Iterable[FlowRecord]]):
+        self.records: List[FlowRecord] = (
+            records if isinstance(records, list) else list(records)
+        )
+        self._cols: Optional[_Columns] = None
+        self._session_index: Optional[SessionIndex] = None
+        self._dst_unique = None
+        self._dst_code = None
+
+    # ------------------------------------------------ sequence protocol
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    # ------------------------------------------------------- columns
+
+    def columns(self) -> _Columns:
+        """The materialised column arrays (built on first use).
+
+        Raises:
+            RuntimeError: If numpy is unavailable.
+        """
+        if not HAVE_NUMPY:  # pragma: no cover - CI image always has numpy
+            raise RuntimeError("numpy is not available; use the python kernels")
+        if self._cols is None:
+            self._cols = _Columns(self.records)
+        return self._cols
+
+    def session_index(self) -> SessionIndex:
+        """The cached gap-independent session skeleton."""
+        if self._session_index is None:
+            self._session_index = SessionIndex(self.columns())
+        return self._session_index
+
+    def dst_codes(self):
+        """``(unique_dst_ips, per-flow code)`` — server-identity coding."""
+        if self._dst_unique is None:
+            self._dst_unique, code = np.unique(
+                self.columns().dst_ip, return_inverse=True
+            )
+            self._dst_code = code.astype(np.int64, copy=False)
+        return self._dst_unique, self._dst_code
+
+
+def active_table(records: Union[Sequence[FlowRecord], FlowTable]) -> Optional[FlowTable]:
+    """The :class:`FlowTable` to run numpy kernels over, or ``None``.
+
+    Returns ``None`` when the python backend is active — callers then take
+    their record-at-a-time path.  When the numpy backend is active, an
+    existing table passes through (reusing its cached columns); a plain
+    record sequence gets a throwaway table.
+    """
+    if not use_numpy():
+        return None
+    if isinstance(records, FlowTable):
+        return records
+    return FlowTable(records)
+
+
+def as_records(records: Union[Sequence[FlowRecord], FlowTable]) -> Sequence[FlowRecord]:
+    """The underlying record sequence (identity for plain sequences)."""
+    if isinstance(records, FlowTable):
+        return records.records
+    return records
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def group_sum_int64(codes, values, num_groups: int):
+    """Exact int64 per-group sums (``bincount`` with integer weights).
+
+    ``np.bincount(..., weights=...)`` accumulates in float64 and loses
+    exactness past 2**53; this helper sorts by group and uses
+    ``np.add.reduceat`` on int64 so byte totals stay exact at any scale.
+    """
+    out = np.zeros(num_groups, dtype=np.int64)
+    if len(values) == 0:
+        return out
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_values = values[order].astype(np.int64, copy=False)
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+    )
+    out[sorted_codes[boundaries]] = np.add.reduceat(sorted_values, boundaries)
+    return out
+
+
+def histogram_from_sizes(sizes) -> Dict[str, float]:
+    """The Figure 5/6 bucket histogram from an array of session sizes.
+
+    Returns the same ``{"1"..."9", ">9"} -> fraction`` mapping (same key
+    order, same built-in floats) as the record-at-a-time path.
+
+    Raises:
+        ValueError: With no sessions.
+    """
+    total = int(len(sizes))
+    if total == 0:
+        raise ValueError("no sessions")
+    counts = np.bincount(np.minimum(sizes, 10), minlength=11)
+    out = {str(i): int(counts[i]) / total for i in range(1, 10)}
+    out[">9"] = int(counts[10]) / total
+    return out

@@ -124,6 +124,30 @@ class Dataset:
         """The vantage point's internal subnets (name, network)."""
         return [(s.name, s.network) for s in self.vantage.subnets]
 
+    def columnar(self):
+        """The dataset's cached columnar view (``repro.trace.columnar``).
+
+        Materialised lazily and cached on the instance; the cache is
+        invalidated when ``records`` is rebound or its length changes.
+        (In-place element mutation is not tracked — the records are frozen
+        dataclasses, so only wholesale list surgery could go stale, and
+        the analysis layer never does that.)
+
+        Returns:
+            The :class:`~repro.trace.columnar.FlowTable` over ``records``.
+        """
+        from repro.trace.columnar import FlowTable
+
+        source, cached = self.__dict__.get("_columnar", (None, None))
+        if (
+            cached is None
+            or source is not self.records
+            or len(cached.records) != len(self.records)
+        ):
+            cached = FlowTable(self.records)
+            self.__dict__["_columnar"] = (self.records, cached)
+        return cached
+
     def content_digest(self) -> str:
         """SHA-256 over the canonical flow-log serialisation of the records.
 
@@ -164,7 +188,10 @@ class Dataset:
         )
         digest.update(header.encode("ascii"))
         digest.update(b"\n")
-        for session in build_sessions(self.records, gap_s=gap_s):
+        # The columnar view is passed (not the raw list) so the numpy
+        # kernels reuse the dataset's cached session index; the python
+        # backend iterates the same records through it unchanged.
+        for session in build_sessions(self.columnar(), gap_s=gap_s):
             flows = session.flows
             line = (
                 f"{session.client_ip}|{session.video_id}|{len(flows)}"

@@ -1,0 +1,319 @@
+"""Python-vs-numpy kernel parity (the ``REPRO_KERNELS`` contract).
+
+The columnar kernels in :mod:`repro.trace.columnar` must be *exact*
+replacements for the record-at-a-time Python spec: same session lists,
+same histograms, same CDF samples, same digests — not merely close.
+These tests drive both backends over randomized flow tables and the
+shared simulated study and assert byte-for-byte equality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import flows, hotspots, loadbalance, nonpreferred, preferred
+from repro.core.sessions import (
+    PAPER_GAP_SWEEP_S,
+    build_sessions,
+    flows_per_session_histogram,
+    gap_sensitivity,
+)
+from repro.core.summary import summarize
+from repro.trace.columnar import FlowTable, kernels_backend, use_numpy
+from repro.trace.records import FlowRecord
+
+numpy = pytest.importorskip("numpy")
+
+BACKENDS = ("python", "numpy")
+
+
+def random_flows(rng: random.Random, n: int) -> List[FlowRecord]:
+    """A messy flow table: few clients/videos, heavy overlap, many ties."""
+    clients = [rng.randrange(1, 6) for _ in range(3)]
+    videos = [f"vid{i:07d}" for i in range(4)]
+    servers = [rng.randrange(100, 120) for _ in range(5)]
+    out: List[FlowRecord] = []
+    for _ in range(n):
+        # Coarse start grid forces t_start ties within (client, video) groups.
+        t_start = float(rng.randrange(0, 40)) * 0.5
+        t_end = t_start + rng.choice([0.0, 0.25, 1.0, 5.0, 30.0])
+        out.append(
+            FlowRecord(
+                src_ip=rng.choice(clients),
+                dst_ip=rng.choice(servers),
+                num_bytes=rng.randrange(0, 5_000_000),
+                t_start=t_start,
+                t_end=t_end,
+                video_id=rng.choice(videos),
+                resolution=rng.choice(["240p", "360p", "480p"]),
+            )
+        )
+    return out
+
+
+def run_on(monkeypatch, backend: str, fn):
+    """Run ``fn()`` with the kernel backend forced to ``backend``."""
+    monkeypatch.setenv("REPRO_KERNELS", backend)
+    assert kernels_backend() == backend
+    return fn()
+
+
+def session_shape(sessions) -> list:
+    """A comparable projection of a session list (records compare by value)."""
+    return [(s.client_ip, s.video_id, s.flows) for s in sessions]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_build_sessions_parity(monkeypatch, seed):
+    records = random_flows(random.Random(seed), n=120)
+    got = {
+        backend: run_on(monkeypatch, backend, lambda: build_sessions(records))
+        for backend in BACKENDS
+    }
+    assert session_shape(got["python"]) == session_shape(got["numpy"])
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12, 13])
+def test_gap_sensitivity_parity(monkeypatch, seed):
+    records = random_flows(random.Random(seed), n=150)
+    got = {
+        backend: run_on(
+            monkeypatch, backend, lambda: gap_sensitivity(records, PAPER_GAP_SWEEP_S)
+        )
+        for backend in BACKENDS
+    }
+    assert got["python"] == got["numpy"]
+
+
+@pytest.mark.parametrize("seed", [20, 21, 22])
+def test_histogram_and_cdf_parity(monkeypatch, seed):
+    records = random_flows(random.Random(seed), n=90)
+    hists = {}
+    cdfs = {}
+    for backend in BACKENDS:
+        hists[backend] = run_on(
+            monkeypatch,
+            backend,
+            lambda: flows_per_session_histogram(build_sessions(records)),
+        )
+        cdfs[backend] = run_on(monkeypatch, backend, lambda: flows.flow_size_cdf(records))
+    assert hists["python"] == hists["numpy"]
+    assert cdfs["python"]._values == cdfs["numpy"]._values
+    for p in (0.01, 0.25, 0.5, 0.9, 0.99):
+        assert cdfs["python"].quantile(p) == cdfs["numpy"].quantile(p)
+
+
+def test_classify_flows_parity(monkeypatch):
+    records = random_flows(random.Random(33), n=80)
+    got = {
+        backend: run_on(monkeypatch, backend, lambda: flows.classify_flows(records))
+        for backend in BACKENDS
+    }
+    assert got["python"].video == got["numpy"].video
+    assert got["python"].control == got["numpy"].control
+
+
+def test_empty_dataset(monkeypatch):
+    for backend in BACKENDS:
+        assert run_on(monkeypatch, backend, lambda: build_sessions([])) == []
+        with pytest.raises(ValueError):
+            run_on(monkeypatch, backend, lambda: gap_sensitivity([]))
+
+
+def test_single_flow(monkeypatch):
+    records = [FlowRecord(1, 100, 500, 0.0, 1.0, "v" * 11, "360p")]
+    for backend in BACKENDS:
+        sessions = run_on(monkeypatch, backend, lambda: build_sessions(records))
+        assert len(sessions) == 1
+        assert sessions[0].flows == records
+
+
+def test_fully_overlapping_flows(monkeypatch):
+    # All flows cover [0, 100): one session regardless of backend or gap.
+    records = [
+        FlowRecord(1, 100 + i, 1000 + i, 0.0, 100.0, "v" * 11, "360p") for i in range(6)
+    ]
+    got = {
+        backend: run_on(monkeypatch, backend, lambda: build_sessions(records, gap_s=1.0))
+        for backend in BACKENDS
+    }
+    assert len(got["python"]) == len(got["numpy"]) == 1
+    assert session_shape(got["python"]) == session_shape(got["numpy"])
+
+
+def test_t_start_ties(monkeypatch):
+    # Identical t_start, differing t_end: the (t_start, t_end) sort and the
+    # running-max horizon must agree across backends.
+    records = [
+        FlowRecord(1, 100, 10, 5.0, 5.0 + e, "v" * 11, "360p")
+        for e in (3.0, 0.0, 1.0, 2.0)
+    ] + [FlowRecord(1, 101, 10, 9.5, 20.0, "v" * 11, "360p")]
+    got = {
+        backend: run_on(monkeypatch, backend, lambda: build_sessions(records, gap_s=1.0))
+        for backend in BACKENDS
+    }
+    assert session_shape(got["python"]) == session_shape(got["numpy"])
+
+
+def test_long_flow_covers_later_short_ones(monkeypatch):
+    # An early long flow must keep extending the horizon across breaks.
+    records = [
+        FlowRecord(2, 100, 10, 0.0, 50.0, "w" * 11, "360p"),
+        FlowRecord(2, 101, 10, 10.0, 11.0, "w" * 11, "360p"),
+        FlowRecord(2, 102, 10, 49.0, 49.5, "w" * 11, "360p"),
+        FlowRecord(2, 103, 10, 60.0, 61.0, "w" * 11, "360p"),
+    ]
+    got = {
+        backend: run_on(monkeypatch, backend, lambda: build_sessions(records, gap_s=1.0))
+        for backend in BACKENDS
+    }
+    assert [len(s.flows) for s in got["python"]] == [3, 1]
+    assert session_shape(got["python"]) == session_shape(got["numpy"])
+
+
+def test_backend_env_validation(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "fortran")
+    with pytest.raises(ValueError):
+        kernels_backend()
+    monkeypatch.delenv("REPRO_KERNELS")
+    assert kernels_backend() == "numpy"
+    assert use_numpy()
+
+
+def test_flow_table_is_a_sequence():
+    records = random_flows(random.Random(1), n=10)
+    table = FlowTable(records)
+    assert len(table) == 10
+    assert list(table) == records
+    assert table[3] is records[3]
+
+
+class TestStudyParity:
+    """Figure-level parity over the shared simulated study.
+
+    The pipeline fixture's server map, preferred reports, and focus
+    records are backend-independent *inputs*; each analysis below is
+    re-run from those inputs under both backends and compared exactly.
+    """
+
+    NAME = "EU1-ADSL"
+
+    @pytest.fixture(scope="class")
+    def inputs(self, pipeline):
+        return (
+            pipeline.focus_records[self.NAME],
+            pipeline.preferred_reports[self.NAME],
+            pipeline.server_map,
+            pipeline.dataset(self.NAME).num_hours,
+        )
+
+    def test_nonpreferred_fraction(self, monkeypatch, inputs):
+        records, report, smap, _ = inputs
+        got = {
+            b: run_on(
+                monkeypatch, b, lambda: nonpreferred.nonpreferred_fraction(records, report, smap)
+            )
+            for b in BACKENDS
+        }
+        assert got["python"] == got["numpy"]
+
+    def test_fig9_hourly_cdf(self, monkeypatch, inputs):
+        records, report, smap, num_hours = inputs
+        got = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: nonpreferred.hourly_nonpreferred_cdf(records, report, smap, num_hours),
+            )
+            for b in BACKENDS
+        }
+        assert got["python"]._values == got["numpy"]._values
+
+    def test_fig13_video_cdf_and_counts(self, monkeypatch, inputs):
+        records, report, smap, _ = inputs
+        counts = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: hotspots.nonpreferred_requests_per_video(records, report, smap),
+            )
+            for b in BACKENDS
+        }
+        # Dict *order* matters too: downstream top-k relies on stable ties.
+        assert list(counts["python"].items()) == list(counts["numpy"].items())
+        cdfs = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: hotspots.nonpreferred_video_cdf(records, report, smap),
+            )
+            for b in BACKENDS
+        }
+        assert cdfs["python"]._values == cdfs["numpy"]._values
+
+    def test_fig14_hot_videos(self, monkeypatch, inputs):
+        records, report, smap, num_hours = inputs
+        got = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: hotspots.top_nonpreferred_videos(records, report, smap, num_hours),
+            )
+            for b in BACKENDS
+        }
+        assert got["python"] == got["numpy"]
+
+    def test_fig15_server_load(self, monkeypatch, inputs):
+        records, report, smap, num_hours = inputs
+        got = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: hotspots.preferred_server_load(records, report, smap, num_hours),
+            )
+            for b in BACKENDS
+        }
+        assert got["python"] == got["numpy"]
+
+    def test_fig11_load_balance(self, monkeypatch, inputs):
+        records, report, smap, num_hours = inputs
+        got = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: loadbalance.analyze_load_balance(records, report, smap, num_hours),
+            )
+            for b in BACKENDS
+        }
+        assert got["python"] == got["numpy"]
+
+    def test_preferred_report(self, monkeypatch, pipeline):
+        dataset = pipeline.dataset(self.NAME)
+        rtts = pipeline.rtt_campaigns[self.NAME]
+        got = {
+            b: run_on(
+                monkeypatch,
+                b,
+                lambda: preferred.analyze_preferred(
+                    dataset,
+                    pipeline.server_map,
+                    rtts,
+                    focus_ips=pipeline.focus_ips[self.NAME],
+                ),
+            )
+            for b in BACKENDS
+        }
+        assert got["python"] == got["numpy"]
+
+    def test_table1_summary(self, monkeypatch, pipeline):
+        dataset = pipeline.dataset(self.NAME)
+        got = {b: run_on(monkeypatch, b, lambda: summarize(dataset)) for b in BACKENDS}
+        assert got["python"] == got["numpy"]
+
+    def test_summary_digest(self, monkeypatch, pipeline):
+        dataset = pipeline.dataset(self.NAME)
+        got = {b: run_on(monkeypatch, b, lambda: dataset.summary_digest()) for b in BACKENDS}
+        assert got["python"] == got["numpy"]
