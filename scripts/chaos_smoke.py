@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Deterministic chaos smoke test.
+
+Runs the paper study under an aggressive fixed-seed fault plan and
+asserts the fault layer's three guarantees:
+
+1. **Survival** — the study completes under probe loss, RTT timeouts,
+   worker crashes, transient task failures, artifact corruption, and
+   garbled log lines, and says so in a ``DEGRADATION REPORT``.
+2. **Determinism** — two consecutive warm runs under the *same* plan
+   produce byte-identical stdout (every injected fault is a pure
+   function of ``(seed, site label)``, never of timing or schedule).
+3. **Transparency** — an inert plan (all rates zero) is
+   indistinguishable from running with no plan at all: identical
+   output, including the per-dataset content digests.
+
+Each run is a separate subprocess so the warm runs also exercise
+quarantine-and-recompute against the on-disk artifact cache: with
+``artifact_corrupt`` at 1.0 every cache read comes back truncated, is
+quarantined, and is transparently recomputed.  The parsed degradation
+counters land in ``benchmarks/out/degradation_report.json``.
+
+Usage::
+
+    python scripts/chaos_smoke.py [--scale 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_DIR = REPO / "benchmarks" / "out"
+
+CHAOS_PLAN = json.dumps({
+    "seed": 42,
+    "probe_loss": 0.1,
+    "probe_timeout": 0.1,
+    "task_transient": 0.1,
+    "task_crash": 0.05,
+    "artifact_corrupt": 1.0,
+    "line_garble": 0.02,
+})
+INERT_PLAN = json.dumps({"seed": 99})
+
+
+def run_study(scale: float, faults: str | None, cache_dir: str | None) -> str:
+    """One ``repro study --digests`` subprocess; returns its stdout."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if cache_dir is None:
+        env["REPRO_CACHE"] = "off"
+    else:
+        env["REPRO_CACHE_DIR"] = cache_dir
+        env.pop("REPRO_CACHE", None)
+    command = [sys.executable, "-m", "repro", "study",
+               "--scale", str(scale), "--digests"]
+    if faults is not None:
+        command += ["--faults", faults]
+    proc = subprocess.run(command, env=env, cwd=REPO, text=True,
+                          capture_output=True, check=True)
+    return proc.stdout
+
+
+def parse_degradation(stdout: str) -> dict:
+    """The ``TOTAL`` row of the degradation table as ``{counter: value}``."""
+    lines = stdout.splitlines()
+    try:
+        start = next(i for i, line in enumerate(lines)
+                     if "DEGRADATION REPORT" in line)
+    except StopIteration:
+        raise SystemExit("no DEGRADATION REPORT in chaos-run output")
+    header = next(line.split() for line in lines[start:]
+                  if line.strip().startswith("stage"))
+    total = next(line.split() for line in lines[start:]
+                 if line.strip().startswith("TOTAL"))
+    return dict(zip(header[1:], (int(v) for v in total[1:])))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as cache_dir:
+        # Cold run: a fresh plan owns a fresh cache namespace, so every
+        # stage recomputes under injected probe/task/line faults.
+        cold = run_study(args.scale, CHAOS_PLAN, cache_dir)
+        cold_tally = parse_degradation(cold)
+        print(f"cold chaos run: {cold_tally}")
+        if cold_tally.get("probes_lost", 0) < 1:
+            failures.append(f"cold run lost no probes: {cold_tally}")
+        if cold_tally.get("retried", 0) < 1:
+            failures.append(f"cold run retried nothing: {cold_tally}")
+
+        # Warm runs: every cache read is corrupted, quarantined, and
+        # recomputed — and the two runs must still agree byte-for-byte.
+        warm_a = run_study(args.scale, CHAOS_PLAN, cache_dir)
+        warm_b = run_study(args.scale, CHAOS_PLAN, cache_dir)
+        warm_tally = parse_degradation(warm_a)
+        print(f"warm chaos run: {warm_tally}")
+        if warm_tally.get("quarantined", 0) < 1:
+            failures.append(f"warm run quarantined nothing: {warm_tally}")
+        if warm_a != warm_b:
+            failures.append("consecutive warm chaos runs are not "
+                            "byte-identical")
+
+    # An all-zero plan must be invisible: same bytes as no plan at all.
+    clean = run_study(args.scale, None, None)
+    inert = run_study(args.scale, INERT_PLAN, None)
+    print(f"clean vs inert-plan output identical: {clean == inert}")
+    if clean != inert:
+        failures.append("inert fault plan changed the study output")
+
+    digests = sorted(line for line in cold.splitlines()
+                     if line.startswith("digest "))
+    if digests != sorted(line for line in clean.splitlines()
+                         if line.startswith("digest ")):
+        failures.append("chaos run changed dataset content digests "
+                        "(faults must not touch the simulated traces)")
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    report = {
+        "scale": args.scale,
+        "plan": json.loads(CHAOS_PLAN),
+        "cold": cold_tally,
+        "warm": warm_tally,
+        "warm_runs_identical": warm_a == warm_b,
+        "inert_plan_transparent": clean == inert,
+        "digests": dict(line.split()[1:] for line in digests),
+    }
+    out_path = OUT_DIR / "degradation_report.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("chaos smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Refresh the golden digest fixture after an intentional behaviour change.
+#
+# Re-runs the paper study at the pinned scale/seed and rewrites
+# tests/golden/study_scale_0.01.digests with the new per-dataset content
+# digests.  Review the diff before committing: every changed line is a
+# claim that the simulator's output was *meant* to change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=tests/golden/study_scale_0.01.digests
+
+PYTHONPATH=src REPRO_CACHE=off python -m repro study --scale 0.01 --seed 7 \
+    --digests | grep '^digest ' > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "updated $OUT:"
+cat "$OUT"

@@ -119,4 +119,14 @@ def stage_key(stage: str, config: Any, version: Optional[str] = None) -> str:
         "code_version": version if version is not None else code_version(),
         "config": canonicalize(config),
     }
+    # An *active* fault plan changes what stages produce, so it must
+    # change their keys: faulted artifacts live in their own (seed, plan)
+    # namespace and can never shadow — or be shadowed by — clean ones.
+    # Inert plans (all rates zero) leave keys untouched, which is what
+    # makes a zero-fault run byte-identical to a plain run.
+    from repro.faults.plan import active_plan
+
+    plan = active_plan()
+    if plan is not None:
+        document["faults"] = canonicalize(plan)
     return hashlib.sha256(_dumps(document).encode("utf-8")).hexdigest()

@@ -53,6 +53,7 @@ class CacheStats:
         hits: Artifacts served from disk.
         misses: Lookups that found nothing (or a corrupt object).
         puts: Artifacts written.
+        quarantined: Corrupt objects moved aside for recomputation.
         bytes_read: Total pickled bytes served from disk.
         bytes_written: Total pickled bytes written.
     """
@@ -60,6 +61,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    quarantined: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -69,6 +71,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "quarantined": self.quarantined,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
@@ -81,9 +84,15 @@ class StageCounters:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    quarantined: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
-    _BY_EVENT = {"hit": "hits", "miss": "misses", "put": "puts"}
+    _BY_EVENT = {
+        "hit": "hits",
+        "miss": "misses",
+        "put": "puts",
+        "quarantine": "quarantined",
+    }
 
     def record(self, event: str, num_bytes: int) -> None:
         """Fold one ledger event into the tally."""
@@ -102,6 +111,7 @@ class StageCounters:
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "quarantined": self.quarantined,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
@@ -143,6 +153,11 @@ class ArtifactStore:
         """The append-only event ledger."""
         return self.root / "events.jsonl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt objects are moved aside for post-mortems."""
+        return self.root / "quarantine"
+
     def object_path(self, key: str) -> Path:
         """Where the artifact for ``key`` lives (existing or not)."""
         if len(key) < 3:
@@ -159,8 +174,13 @@ class ArtifactStore:
         """Load the artifact for ``key``, or ``default`` on a miss.
 
         A corrupt or truncated object (e.g. a machine died mid-write of a
-        pre-atomic-rename temp file that was then moved manually) counts as
-        a miss and is deleted.
+        pre-atomic-rename temp file that was then moved manually) counts
+        as a miss: the object is *quarantined* — moved under
+        ``quarantine/`` for post-mortems — so the caller recomputes and
+        the next put heals the slot.  An active fault plan can inject
+        exactly this failure mode (``artifact_corrupt``): the read
+        surfaces a truncated blob, keyed deterministically on the cache
+        key, and flows through the same quarantine path.
 
         Args:
             key: The stage key.
@@ -170,16 +190,15 @@ class ArtifactStore:
         path = self.object_path(key)
         try:
             blob = path.read_bytes()
+            blob = self._maybe_corrupt(key, blob)
             value = pickle.loads(blob)
         except FileNotFoundError:
             self._record("miss", stage, 0)
             return default
         except Exception:
-            # Unreadable artifact: drop it so the next put heals the slot.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Unreadable artifact: quarantine it so the next put heals
+            # the slot and the bad bytes stay inspectable.
+            self._quarantine(path, stage)
             self._record("miss", stage, 0)
             return default
         self.stats.bytes_read += len(blob)
@@ -189,6 +208,38 @@ class ArtifactStore:
         except OSError:
             pass
         return value
+
+    @staticmethod
+    def _maybe_corrupt(key: str, blob: bytes) -> bytes:
+        """Truncate the blob when the ambient fault plan says so.
+
+        Truncation removes the pickle STOP opcode, so the injected blob
+        always fails to load and exercises the genuine quarantine path.
+        """
+        from repro.faults.plan import active_plan
+
+        plan = active_plan()
+        if plan is not None and plan.decide(
+            plan.artifact_corrupt, "artifacts/corrupt", key
+        ):
+            return blob[: len(blob) // 2]
+        return blob
+
+    def _quarantine(self, path: Path, stage: str) -> None:
+        """Move a corrupt object out of ``objects/`` (best-effort)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / f"{path.parent.name}{path.name}"
+            os.replace(path, target)
+        except OSError:
+            # A concurrent reader may have quarantined (or a writer
+            # healed) it first; either way the slot is no longer ours.
+            return
+        self.stats.quarantined += 1
+        self._record("quarantine", stage, 0)
+        from repro.faults import report as degradation
+
+        degradation.record("artifacts/store", quarantined=1, degraded=1)
 
     def put(self, key: str, value: Any, stage: str = "") -> int:
         """Atomically write the artifact for ``key``.
@@ -309,9 +360,14 @@ class ArtifactStore:
         }
 
     def clear(self) -> int:
-        """Delete every artifact and the ledger; returns objects removed."""
+        """Delete every artifact, the quarantine and the ledger.
+
+        Returns:
+            Objects removed (quarantined ones not counted).
+        """
         removed = sum(1 for _ in self.iter_objects())
         shutil.rmtree(self.objects_dir, ignore_errors=True)
+        shutil.rmtree(self.quarantine_dir, ignore_errors=True)
         try:
             self.ledger_path.unlink()
         except OSError:

@@ -51,6 +51,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="analysis kernel backend (default: $REPRO_KERNELS, "
                              "else numpy when available; outputs are identical "
                              "on both backends)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="deterministic fault-injection plan: a JSON object "
+                             "or a path to one (default: $REPRO_FAULTS; see "
+                             "docs/architecture.md). Faulted runs are exactly "
+                             "reproducible from (seed, plan)")
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[ParallelExecutor]:
@@ -263,6 +268,14 @@ def cmd_study(args: argparse.Namespace, out) -> int:
     if args.digests:
         for name in sorted(payload["digests"]):
             print(f"digest {name} {payload['digests'][name]}", file=out)
+    from repro.faults.plan import active_plan
+
+    if active_plan() is not None:
+        from repro.faults import report as degradation
+        from repro.reporting.timing import render_degradation_table
+
+        print("", file=out)
+        print(render_degradation_table(degradation.collect()), file=out)
     return 0
 
 
@@ -459,6 +472,21 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         # The backend never changes outputs, so it stays out of every
         # artifact-cache key (same contract as REPRO_EXECUTOR).
         os.environ[KERNELS_ENV] = args.kernels
+    if getattr(args, "faults", None):
+        from repro.faults import plan as faults_plan
+        from repro.faults import report as degradation
+
+        # Normalise the plan into REPRO_FAULTS so process-pool workers
+        # inherit it, and start the degradation collector fresh — this
+        # run's report must cover exactly this run.
+        try:
+            plan = faults_plan.FaultPlan.from_spec(args.faults)
+        except (ValueError, OSError) as error:
+            print(f"bad --faults plan: {error}", file=sys.stderr)
+            return 2
+        os.environ[faults_plan.ENV_FAULTS] = plan.to_json()
+        faults_plan.clear_current_plan()
+        degradation.reset()
     return _COMMANDS[args.command](args, out)
 
 

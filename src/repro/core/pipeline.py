@@ -34,6 +34,7 @@ from repro.core import sessions as sessions_mod
 from repro.core import subnets as subnets_mod
 from repro.core.summary import DatasetSummary, summarize
 from repro.exec.executor import ParallelExecutor
+from repro.faults import report as degradation
 from repro.geo.landmarks import LandmarkSet, generate_landmarks
 from repro.geoloc.cbg import CbgGeolocator
 from repro.geoloc.clustering import ServerMap, cluster_servers
@@ -212,6 +213,7 @@ class StudyPipeline:
                 )
             )
         measured = run_campaigns(jobs, executor=self._executor)
+        degradation.stage_completed("pipeline/rtt_campaigns")
         return dict(zip(self._results, measured))
 
     def rtt_cdf(self, name: str) -> Cdf:
@@ -247,7 +249,9 @@ class StudyPipeline:
                 raise LookupError(f"cannot reach server {ip} for probing")
             return self.geolocator.geolocate_target(site)
 
-        return cluster_servers(union, geolocate)
+        server_map = cluster_servers(union, geolocate)
+        degradation.stage_completed("pipeline/server_map")
+        return server_map
 
     @cached_property
     def fig3_cdfs(self) -> Dict[str, Cdf]:
@@ -278,10 +282,12 @@ class StudyPipeline:
     def sessions(self) -> Dict[str, List[sessions_mod.Session]]:
         """Per-dataset video sessions at the configured gap."""
         with phase_timer("analysis/sessions"):
-            return {
+            built = {
                 name: sessions_mod.build_sessions(self.focus_tables[name], self._gap_s)
                 for name in self._results
             }
+        degradation.stage_completed("pipeline/sessions")
+        return built
 
     def session_histogram(self, name: str) -> Dict[str, float]:
         """One Figure 6 bar group."""
@@ -301,7 +307,8 @@ class StudyPipeline:
                     self.rtt_campaigns[name],
                     focus_ips=self.focus_ips[name],
                 )
-            return reports
+        degradation.stage_completed("pipeline/preferred")
+        return reports
 
     # ------------------------------------------------------- F9, F10
 

@@ -56,11 +56,18 @@ class ExecutionError(RuntimeError):
     it happened and re-surfaced here with the *original* traceback text, so
     a crash inside a process worker reads exactly like a local one.
 
+    With nested pools (a process task that fans out its own executor) the
+    inner failure is already an ``ExecutionError``; re-wrapping keeps the
+    *root* ``cause_type`` and worker traceback and prefixes the label path,
+    so the diagnosis survives any number of pool hops and pickle
+    round-trips.
+
     Attributes:
-        label: The failed task's label.
-        cause_type: Exception class name raised by the task.
-        cause_message: Stringified exception.
-        worker_traceback: Full traceback text from inside the worker.
+        label: The failed task's label (``outer -> inner`` when nested).
+        cause_type: Root exception class name raised by the task.
+        cause_message: Stringified root exception.
+        worker_traceback: Full traceback text from the innermost worker.
+        attempts: How many attempts were made before giving up.
     """
 
     def __init__(
@@ -69,21 +76,46 @@ class ExecutionError(RuntimeError):
         cause_type: str,
         cause_message: str,
         worker_traceback: str,
+        attempts: int = 1,
     ):
         self.label = label
         self.cause_type = cause_type
         self.cause_message = cause_message
         self.worker_traceback = worker_traceback
+        self.attempts = attempts
         super().__init__(
             f"task {label!r} failed with {cause_type}: {cause_message}\n"
             f"--- worker traceback ---\n{worker_traceback}"
         )
 
     def __reduce__(self):
+        # All five fields must travel: reconstructing from the base
+        # RuntimeError args (or from the first four fields only) silently
+        # drops the attempt count on re-pickle round-trips across nested
+        # pools.
         return (
             ExecutionError,
-            (self.label, self.cause_type, self.cause_message, self.worker_traceback),
+            (
+                self.label,
+                self.cause_type,
+                self.cause_message,
+                self.worker_traceback,
+                self.attempts,
+            ),
         )
+
+    @classmethod
+    def wrap(cls, label: str, exc: BaseException, tb_text: str) -> "ExecutionError":
+        """Contain a task failure, preserving nested errors' root cause."""
+        if isinstance(exc, ExecutionError):
+            return cls(
+                f"{label} -> {exc.label}",
+                exc.cause_type,
+                exc.cause_message,
+                exc.worker_traceback,
+                attempts=exc.attempts,
+            )
+        return cls(label, type(exc).__name__, str(exc), tb_text)
 
 
 @dataclass(frozen=True)
@@ -108,12 +140,14 @@ class MapStats:
     Attributes:
         backend: Backend that ran the batch.
         wall_s: Wall time of the whole batch, submit to last result.
-        timings: Per-task timings, in input order.
+        timings: Per-task timings, in input order (final attempt each).
+        retries: Total extra attempts scheduled by the retry policy.
     """
 
     backend: str
     wall_s: float
     timings: List[TaskTiming] = field(default_factory=list)
+    retries: int = 0
 
     @property
     def task_seconds(self) -> float:
@@ -130,8 +164,30 @@ class MapStats:
         return max(self.timings, key=lambda t: t.seconds, default=None)
 
 
-def _timed_call(fn: Callable[[Any], Any], item: Any, label: str):
-    """Run one task, capturing wall time and any failure.
+def _inject_task_fault(label: str, attempt: int) -> None:
+    """Raise an injected fault for this task attempt, if the plan says so.
+
+    Resolved from the ambient fault plan (``REPRO_FAULTS`` travels to
+    process workers through the environment), with decisions keyed on
+    ``(label, attempt)`` — deterministic regardless of backend or
+    scheduling.
+    """
+    from repro.faults.plan import active_plan
+    from repro.faults.retry import TransientFault, WorkerCrash
+
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.attempt_fails(plan.task_crash, attempt, "exec/crash", label):
+        raise WorkerCrash(f"injected worker crash in {label!r} (attempt {attempt})")
+    if plan.attempt_fails(plan.task_transient, attempt, "exec/transient", label):
+        raise TransientFault(
+            f"injected transient fault in {label!r} (attempt {attempt})"
+        )
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any, label: str, attempt: int = 1):
+    """Run one task attempt, capturing wall time and any failure.
 
     Module-level so the process backend can pickle it.  Returns
     ``(seconds, payload)`` where the payload is either the task's value or
@@ -139,11 +195,12 @@ def _timed_call(fn: Callable[[Any], Any], item: Any, label: str):
     """
     start = time.perf_counter()
     try:
+        _inject_task_fault(label, attempt)
         value = fn(item)
     except Exception as exc:  # contain, never kill the pool
         return (
             time.perf_counter() - start,
-            ExecutionError(label, type(exc).__name__, str(exc), traceback.format_exc()),
+            ExecutionError.wrap(label, exc, traceback.format_exc()),
         )
     return (time.perf_counter() - start, value)
 
@@ -190,11 +247,15 @@ class ParallelExecutor:
         items: Sequence[Any],
         labels: Optional[Sequence[str]] = None,
         on_error: str = "raise",
+        retry: Optional["object"] = None,
     ) -> List[Any]:
         """Apply ``fn`` to every item, returning results in input order.
 
         All tasks run to completion regardless of individual failures
         (fault containment): a failed task never cancels its siblings.
+        Failures a retry policy classes as transient are re-attempted in
+        follow-up rounds (deterministic backoff between rounds) before
+        they count as failures at all.
 
         Args:
             fn: Task function (module-level for the process backend).
@@ -205,6 +266,9 @@ class ParallelExecutor:
                 :class:`ExecutionError` after the whole batch finishes;
                 ``"return"`` leaves each failure's :class:`ExecutionError`
                 in its result slot instead.
+            retry: A :class:`~repro.faults.retry.RetryPolicy` for
+                transient failures; ``None`` applies the default policy
+                when a fault plan is active, else no retries.
 
         Returns:
             Task results (or contained errors), in input order.
@@ -222,11 +286,50 @@ class ParallelExecutor:
             labels = [str(label) for label in labels]
             if len(labels) != len(items):
                 raise ValueError(f"{len(labels)} labels for {len(items)} items")
+        if retry is None:
+            from repro.faults.plan import active_plan
+            from repro.faults.retry import default_retry_policy
+
+            retry = default_retry_policy() if active_plan() is not None else None
+
         start = time.perf_counter()
-        if self.backend == "serial" or len(items) <= 1:
-            outcomes = [_timed_call(fn, item, label) for item, label in zip(items, labels)]
-        else:
-            outcomes = self._pooled(fn, items, labels)
+        outcomes: List[Optional[tuple]] = [None] * len(items)
+        pending_idx = list(range(len(items)))
+        attempt = 1
+        retries = 0
+        while pending_idx:
+            round_outcomes = self._dispatch(
+                fn, [items[i] for i in pending_idx],
+                [labels[i] for i in pending_idx], attempt,
+            )
+            for i, outcome in zip(pending_idx, round_outcomes):
+                payload = outcome[1]
+                if isinstance(payload, ExecutionError):
+                    payload.attempts = max(payload.attempts, attempt)
+                outcomes[i] = outcome
+            if retry is None or attempt >= retry.max_attempts:
+                break
+            if (
+                retry.max_deadline_s is not None
+                and time.perf_counter() - start >= retry.max_deadline_s
+            ):
+                break
+            retryable = [
+                i for i in pending_idx
+                if isinstance(outcomes[i][1], ExecutionError)
+                and retry.retryable(outcomes[i][1].cause_type)
+            ]
+            if not retryable:
+                break
+            retries += len(retryable)
+            from repro.faults import report as degradation
+
+            degradation.record("exec/map", retried=len(retryable))
+            delay = retry.delay_s(attempt, labels[retryable[0]])
+            if delay > 0:
+                time.sleep(delay)
+            pending_idx = retryable
+            attempt += 1
         wall_s = time.perf_counter() - start
 
         timings: List[TaskTiming] = []
@@ -238,13 +341,32 @@ class ParallelExecutor:
             results.append(payload)
             if failed and first_error is None:
                 first_error = payload
-        self.stats.append(MapStats(backend=self.backend, wall_s=wall_s, timings=timings))
+        self.stats.append(
+            MapStats(backend=self.backend, wall_s=wall_s, timings=timings,
+                     retries=retries)
+        )
         if first_error is not None and on_error == "raise":
             raise first_error
         return results
 
+    def _dispatch(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        labels: List[str],
+        attempt: int,
+    ) -> List[tuple]:
+        """Run one attempt round over the backend, results in input order."""
+        if self.backend == "serial" or len(items) <= 1:
+            return [
+                _timed_call(fn, item, label, attempt)
+                for item, label in zip(items, labels)
+            ]
+        return self._pooled(fn, items, labels, attempt)
+
     def _pooled(
-        self, fn: Callable[[Any], Any], items: List[Any], labels: List[str]
+        self, fn: Callable[[Any], Any], items: List[Any], labels: List[str],
+        attempt: int = 1,
     ) -> List[tuple]:
         """Fan a batch out over a worker pool, preserving input order."""
         workers = self.max_workers or os.cpu_count() or 1
@@ -254,7 +376,7 @@ class ParallelExecutor:
         with pool_cls(max_workers=workers) as pool:
             futures: Dict[Future, int] = {}
             for i, (item, label) in enumerate(zip(items, labels)):
-                futures[pool.submit(_timed_call, fn, item, label)] = i
+                futures[pool.submit(_timed_call, fn, item, label, attempt)] = i
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)

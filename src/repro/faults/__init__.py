@@ -1,0 +1,63 @@
+"""Deterministic fault injection, retries, and degradation reporting.
+
+The paper's pipeline tolerates partial failure everywhere — lost
+PlanetLab probes, dropped Tstat flows, timed-out DNS answers — so the
+reproduction must too.  This package makes that testable:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded chaos
+  configuration whose every injection decision is a pure function of
+  ``(seed, site labels)``; carried by ``--faults`` / ``REPRO_FAULTS``.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, shared
+  exponential-backoff-with-deterministic-jitter semantics, plus the
+  transient-fault exception taxonomy.
+* :mod:`repro.faults.report` — the per-stage degradation collector and
+  :class:`DegradationReport` (stages completed / retried / degraded /
+  skipped).
+
+Injection is wired into the executor (task transients and worker
+crashes), RTT campaigns and CBG probing (probe loss and timeouts), the
+artifact store (corrupt objects, quarantined and recomputed), and
+flow-log ingestion (garbled lines, skipped and counted).  An active plan
+is folded into every artifact-cache key, so faulted runs never share
+artifacts with clean ones; an all-zero plan is inert and byte-identical
+to no plan at all.
+"""
+
+from repro.faults.plan import (
+    ENV_FAULTS,
+    FaultPlan,
+    RATE_FIELDS,
+    active_plan,
+    clear_current_plan,
+    current_plan,
+    set_current_plan,
+)
+from repro.faults.report import DegradationReport, collect, record, stage_completed
+from repro.faults.retry import (
+    DEFAULT_RETRY_ON,
+    ProbeTimeout,
+    RetryPolicy,
+    TransientFault,
+    WorkerCrash,
+    default_retry_policy,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_ON",
+    "DegradationReport",
+    "ENV_FAULTS",
+    "FaultPlan",
+    "ProbeTimeout",
+    "RATE_FIELDS",
+    "RetryPolicy",
+    "TransientFault",
+    "WorkerCrash",
+    "active_plan",
+    "clear_current_plan",
+    "collect",
+    "current_plan",
+    "default_retry_policy",
+    "record",
+    "set_current_plan",
+    "stage_completed",
+]

@@ -1,0 +1,110 @@
+"""Per-stage degradation accounting for faulted runs.
+
+When a :class:`~repro.faults.plan.FaultPlan` is in force, every layer
+that absorbs a fault records what it absorbed here — campaigns count lost
+probes, the executor counts retried tasks, the artifact store counts
+quarantined objects, log ingestion counts skipped lines — and the run
+ends with one :class:`DegradationReport`: per stage, how much completed,
+how much was retried, how much degraded, how much was skipped.
+
+The collector is module-level (like
+:func:`repro.reporting.timing.phase_timer`'s accumulator) and records
+only while a plan is installed, so clean runs pay nothing and tests can
+reset it.  Process-pool caveat: counters live in the recording process;
+in-worker events surface either through values returned to the parent
+(campaign outcomes), through retried failures the parent observes, or
+through the artifact store's cross-process ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.faults.plan import current_plan
+
+#: Counter keys with dedicated meaning, in reporting order.  Stages may
+#: record additional ad-hoc counters; they sort after these.
+CORE_COUNTERS = ("completed", "retried", "degraded", "skipped")
+
+_EVENTS: Dict[str, Dict[str, int]] = {}
+
+
+def record(stage: str, **counts: int) -> None:
+    """Fold counters into one stage's tally (no-op without a plan).
+
+    Args:
+        stage: Stage name, namespaced like ``"geoloc/campaign"``.
+        counts: Counter increments, e.g. ``completed=1, probes_lost=3``.
+    """
+    if current_plan() is None:
+        return
+    tally = _EVENTS.setdefault(stage, {})
+    for name, delta in counts.items():
+        if delta:
+            tally[name] = tally.get(name, 0) + int(delta)
+
+
+def stage_completed(stage: str, degraded: bool = False) -> None:
+    """Record one completed unit of a stage (optionally degraded)."""
+    record(stage, completed=1, degraded=1 if degraded else 0)
+
+
+def reset() -> None:
+    """Drop every recorded counter (fresh runs and tests)."""
+    _EVENTS.clear()
+
+
+@dataclass
+class DegradationReport:
+    """A snapshot of the run's per-stage degradation counters.
+
+    Attributes:
+        stages: Stage name → counter name → count.
+    """
+
+    stages: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        """Counters summed over every stage."""
+        out: Dict[str, int] = {}
+        for tally in self.stages.values():
+            for name, count in tally.items():
+                out[name] = out.get(name, 0) + count
+        return out
+
+    def total(self, counter: str) -> int:
+        """One counter's total over every stage (0 when never recorded)."""
+        return self.totals.get(counter, 0)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything beyond plain completion was recorded."""
+        return any(
+            count for tally in self.stages.values()
+            for name, count in tally.items() if name != "completed"
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """A JSON-ready view: sorted stages plus a ``TOTAL`` pseudo-stage."""
+        doc = {
+            stage: {k: self.stages[stage][k] for k in sorted(self.stages[stage])}
+            for stage in sorted(self.stages)
+        }
+        doc["TOTAL"] = {k: self.totals[k] for k in sorted(self.totals)}
+        return doc
+
+
+def collect(reset_after: bool = False) -> DegradationReport:
+    """The report over everything recorded so far.
+
+    Args:
+        reset_after: Also clear the collector (end-of-run emission).
+    """
+    report = DegradationReport(
+        stages={stage: dict(tally) for stage, tally in _EVENTS.items()}
+    )
+    if reset_after:
+        reset()
+    return report

@@ -35,6 +35,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import report as degradation
+from repro.faults.plan import active_plan
 from repro.geo.coords import GeoPoint, destination_point, haversine_km, haversine_km_many
 from repro.geo.landmarks import Landmark, LandmarkSet
 from repro.geoloc.probing import RttProber
@@ -213,18 +215,51 @@ class CbgGeolocator:
     # ------------------------------------------------------------- geolocate
 
     def measure_target(self, target: Site) -> Dict[str, float]:
-        """Probe the target from every landmark."""
-        return {
-            lm.name: self._prober.measure_ms(self._landmark_site(lm), target)
-            for lm in self._landmarks
-        }
+        """Probe the target from every landmark.
 
-    def geolocate(self, target_rtts: Mapping[str, float]) -> CbgResult:
+        Under an active fault plan, individual landmark probes can be
+        lost (the paper's PlanetLab campaigns tolerated exactly this);
+        lost landmarks are simply absent from the returned mapping, and
+        at least four survivors are always kept so multilateration stays
+        possible.  Loss decisions are keyed on ``(target key, landmark
+        name)`` — deterministic and order-independent.
+        """
+        plan = active_plan()
+        rtts: Dict[str, float] = {}
+        lost = 0
+        may_drop = (
+            len(self._landmarks) - 4 if plan is not None and plan.probe_loss else 0
+        )
+        for lm in self._landmarks:
+            if may_drop > 0 and plan.decide(
+                plan.probe_loss, "cbg/loss", target.key, lm.name
+            ):
+                lost += 1
+                may_drop -= 1
+                continue
+            rtts[lm.name] = self._prober.measure_ms(self._landmark_site(lm), target)
+        if lost:
+            degradation.record(
+                "geoloc/cbg", degraded=1, probes_lost=lost
+            )
+        return rtts
+
+    def geolocate(
+        self,
+        target_rtts: Mapping[str, float],
+        expected_constraints: Optional[int] = None,
+    ) -> CbgResult:
         """Locate a target from per-landmark RTT measurements.
 
         Args:
             target_rtts: Mapping landmark name → measured min RTT (ms);
                 landmarks absent from the mapping contribute no constraint.
+            expected_constraints: How many constraints a loss-free
+                measurement would have produced.  When more than were
+                actually available, the confidence radius is widened by
+                ``sqrt(expected / used)`` — fewer landmarks mean a larger
+                feasible region, exactly the behaviour the paper reports
+                for sparse landmark sets.
 
         Returns:
             The :class:`CbgResult`.
@@ -243,6 +278,9 @@ class CbgGeolocator:
             radii.append(radius)
         if len(centers) < 3:
             raise ValueError("CBG needs at least 3 constraints")
+        widen = 1.0
+        if expected_constraints is not None and expected_constraints > len(centers):
+            widen = math.sqrt(expected_constraints / len(centers))
 
         radii_arr = np.array(radii)
         for _ in range(_RELAX_ROUNDS):
@@ -251,7 +289,7 @@ class CbgGeolocator:
                 estimate, confidence = result
                 return CbgResult(
                     estimate=estimate,
-                    confidence_radius_km=confidence,
+                    confidence_radius_km=confidence * widen,
                     feasible=True,
                     constraints_used=len(centers),
                 )
@@ -261,14 +299,23 @@ class CbgGeolocator:
         tightest = int(np.argmin(radii_arr))
         return CbgResult(
             estimate=centers[tightest],
-            confidence_radius_km=float(radii_arr[tightest]),
+            confidence_radius_km=float(radii_arr[tightest]) * widen,
             feasible=False,
             constraints_used=len(centers),
         )
 
     def geolocate_target(self, target: Site) -> CbgResult:
-        """Probe and locate a target in one step."""
-        return self.geolocate(self.measure_target(target))
+        """Probe and locate a target in one step.
+
+        Passes the landmark count as the expected constraint count, so a
+        measurement degraded by probe loss yields a correspondingly wider
+        confidence region (loss-free measurements are unaffected: the
+        widening factor is exactly 1).
+        """
+        return self.geolocate(
+            self.measure_target(target),
+            expected_constraints=len(self._landmarks),
+        )
 
     def _intersect(
         self, centers: Sequence[GeoPoint], radii: np.ndarray

@@ -15,6 +15,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.artifacts.keys import CanonicalizationError, stage_key
 from repro.artifacts.store import default_store
 from repro.exec.executor import ParallelExecutor, default_executor
+from repro.faults import report as degradation
+from repro.faults.plan import FaultPlan, active_plan
+from repro.faults.retry import ProbeTimeout, RetryPolicy, default_retry_policy
 from repro.net.latency import LatencyModel, Site
 
 
@@ -106,6 +109,93 @@ def run_campaign_job(job: CampaignJob) -> Dict[object, float]:
     return prober.campaign(job.origin, job.targets)
 
 
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """A faulted campaign's result plus its degradation accounting.
+
+    Attributes:
+        measurements: Target label → measured min RTT (lost targets absent).
+        lost: Targets lost outright (probe loss, or timeouts that
+            exhausted their retries).
+        timeouts: Individual measurement attempts that timed out.
+        retried: Measurement attempts that were retried after a timeout.
+    """
+
+    measurements: Dict[object, float]
+    lost: int = 0
+    timeouts: int = 0
+    retried: int = 0
+
+
+def run_campaign_job_faulted(job: CampaignJob) -> CampaignOutcome:
+    """Run one campaign under the ambient fault plan.
+
+    Probe loss drops a target before any measurement; timeouts fail
+    individual measurement *attempts* and are retried under the default
+    :class:`~repro.faults.retry.RetryPolicy` (an exhausted target counts
+    as lost).  Every decision is keyed on ``(plan.seed, campaign label,
+    target label, attempt)``, so the same (seed, plan) loses the same
+    probes on every backend.  Falls back to the clean path when no plan
+    is active (e.g. a worker whose environment lost ``REPRO_FAULTS``
+    would diverge silently otherwise — better to measure cleanly and let
+    the parent's accounting show zero degradation).
+    """
+    plan = active_plan()
+    if plan is None:
+        return CampaignOutcome(measurements=run_campaign_job(job))
+    prober = RttProber(job.latency, probes=job.probes, seed=job.seed)
+    retry = default_retry_policy()
+    measurements: Dict[object, float] = {}
+    lost = timeouts = retried = 0
+    for t_label, site in job.targets.items():
+        if plan.decide(plan.probe_loss, "probe/loss", job.label, str(t_label)):
+            lost += 1
+            continue
+        counters = {"timeouts": 0, "retried": 0}
+        try:
+            measurements[t_label] = _measure_with_timeouts(
+                prober, job, plan, retry, t_label, site, counters
+            )
+        except ProbeTimeout:
+            lost += 1
+            counters["timeouts"] += 1
+        timeouts += counters["timeouts"]
+        retried += counters["retried"]
+    return CampaignOutcome(
+        measurements=measurements, lost=lost, timeouts=timeouts, retried=retried
+    )
+
+
+def _measure_with_timeouts(
+    prober: RttProber,
+    job: CampaignJob,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    t_label: object,
+    site: Site,
+    counters: Dict[str, int],
+) -> float:
+    """One target's measurement with per-attempt timeout injection."""
+
+    def attempt_once(attempt: int) -> float:
+        value = prober.measure_ms(job.origin, site)
+        if plan.attempt_fails(
+            plan.probe_timeout, attempt, "probe/timeout", job.label, str(t_label)
+        ):
+            counters["timeouts"] += 1
+            raise ProbeTimeout(
+                f"injected RTT timeout: {job.label} -> {t_label} (attempt {attempt})"
+            )
+        return value
+
+    def on_retry(_attempt: int, _error: BaseException) -> None:
+        counters["retried"] += 1
+
+    return retry.run(
+        attempt_once, label=f"{job.label}/{t_label}", on_retry=on_retry
+    )
+
+
 #: Distinct miss sentinel for store lookups.
 _CAMPAIGN_MISS = object()
 
@@ -137,10 +227,17 @@ def run_campaigns(
     against the artifact store first (stage ``"geoloc/campaign"``); only
     unmeasured campaigns fan out.
 
+    Under an active fault plan the faulted runner is used instead (probe
+    loss and retried timeouts; lost targets are simply absent from the
+    returned mapping) and each campaign's degradation is recorded.  The
+    cache still applies — an active plan is folded into every stage key,
+    so faulted campaigns never shadow clean ones.
+
     Returns:
         One measurement mapping per job, in input order.
     """
     jobs = list(jobs)
+    plan = active_plan()
     store = default_store()
     results: List[Optional[Dict[object, float]]] = [None] * len(jobs)
     keys: List[Optional[str]] = [None] * len(jobs)
@@ -151,19 +248,35 @@ def run_campaigns(
             if keys[i] is not None:
                 hit = store.get(keys[i], _CAMPAIGN_MISS, stage="geoloc/campaign")
                 if hit is not _CAMPAIGN_MISS:
-                    results[i] = hit
+                    results[i] = _unpack_outcome(jobs[i], hit)
                     continue
         pending.append(i)
 
     if pending:
         executor = default_executor(executor)
+        task = run_campaign_job_faulted if plan is not None else run_campaign_job
         fresh = executor.map(
-            run_campaign_job,
+            task,
             [jobs[i] for i in pending],
             labels=[jobs[i].label for i in pending],
         )
         for i, measured in zip(pending, fresh):
-            results[i] = measured
             if store is not None and keys[i] is not None:
                 store.put(keys[i], measured, stage="geoloc/campaign")
+            results[i] = _unpack_outcome(jobs[i], measured)
     return results
+
+
+def _unpack_outcome(job: CampaignJob, value) -> Dict[object, float]:
+    """Normalise a campaign result, recording any degradation it carries."""
+    if not isinstance(value, CampaignOutcome):
+        return value
+    degradation.record(
+        "geoloc/campaign",
+        completed=1,
+        degraded=1 if value.lost else 0,
+        probes_lost=value.lost,
+        timeouts=value.timeouts,
+        retried=value.retried,
+    )
+    return value.measurements

@@ -62,6 +62,7 @@ def timing_summary(
     stats: Sequence[MapStats],
     cache: Optional[Dict[str, Any]] = None,
     phases: Optional[Dict[str, float]] = None,
+    degradation: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Aggregate a run's map batches into one JSON-ready summary.
 
@@ -75,6 +76,10 @@ def timing_summary(
             :func:`phases_summary`); included under ``"phases"`` when
             non-empty, alongside the active kernel backend, so the
             analysis-phase breakdown lands in ``timing_*.json``.
+        degradation: Optional
+            :class:`~repro.faults.report.DegradationReport`; its
+            per-stage counters land under ``"degradation"`` so chaos
+            runs' timing artifacts record what was absorbed.
 
     Returns:
         A dict with the backend, wall/task seconds, the observed speedup
@@ -83,6 +88,7 @@ def timing_summary(
     backend = stats[0].backend if stats else "serial"
     wall_s = sum(s.wall_s for s in stats)
     task_s = sum(s.task_seconds for s in stats)
+    retries = sum(getattr(s, "retries", 0) for s in stats)
     rows = [
         {"label": t.label, "seconds": round(t.seconds, 6), "ok": t.ok}
         for s in stats
@@ -93,6 +99,7 @@ def timing_summary(
         "backend": backend,
         "batches": len(stats),
         "tasks": len(rows),
+        "retries": retries,
         "wall_seconds": round(wall_s, 6),
         "task_seconds": round(task_s, 6),
         "speedup": round(task_s / wall_s, 3) if wall_s > 0 else 1.0,
@@ -106,6 +113,8 @@ def timing_summary(
 
         summary["phases"] = dict(phases)
         summary["kernels"] = kernels_backend()
+    if degradation is not None and degradation.stages:
+        summary["degradation"] = degradation.as_dict()
     return summary
 
 
@@ -121,6 +130,26 @@ def write_timing_json(
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return summary
+
+
+def render_degradation_table(report: Any) -> str:
+    """A text view of a :class:`~repro.faults.report.DegradationReport`.
+
+    One row per stage plus the ``TOTAL`` pseudo-stage; the four core
+    counters come first, any ad-hoc counters a stage recorded (lost
+    probes, timeouts, quarantined objects) follow alphabetically.
+    """
+    from repro.faults.report import CORE_COUNTERS
+
+    doc = report.as_dict()
+    extras = sorted(
+        {name for tally in doc.values() for name in tally} - set(CORE_COUNTERS)
+    )
+    columns = ["stage", *CORE_COUNTERS, *extras]
+    table = TextTable(columns, title="DEGRADATION REPORT")
+    for stage, tally in doc.items():
+        table.add_row(stage, *(tally.get(name, 0) for name in columns[1:]))
+    return table.render()
 
 
 def render_cache_table(summary: Dict[str, Any]) -> str:

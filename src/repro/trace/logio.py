@@ -3,14 +3,26 @@
 Tab-separated, one flow per line, with a commented header — close to the
 Tstat log format the paper's datasets came in.  Round-trips exactly through
 :func:`write_flow_log` / :func:`read_flow_log`.
+
+Ingestion degrades gracefully: real Tstat logs arrive with the occasional
+garbled or truncated line (partial writes, log rotation races), so the
+readers accept ``on_error="skip"`` — malformed lines are dropped and
+counted instead of aborting the study.  An active
+:class:`~repro.faults.plan.FaultPlan` injects exactly that failure mode
+(``line_garble``): deterministically chosen lines are truncated
+mid-parse, then skipped and recorded as degradation regardless of
+``on_error`` (the injection layer owns the faults it creates; genuinely
+malformed input still raises under the default strict mode).
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
+from repro.faults import report as degradation
+from repro.faults.plan import FaultPlan, active_plan
 from repro.net.ip import format_ip, parse_ip
 from repro.trace.records import FlowRecord
 
@@ -65,15 +77,62 @@ def write_flow_log(records: Iterable[FlowRecord], path: Union[str, Path]) -> int
     return count
 
 
-def read_flow_log(path: Union[str, Path]) -> List[FlowRecord]:
-    """Read a flow-log file back into records (comments skipped)."""
+def _ingest(
+    lines: Iterable[str], source: str, on_error: str
+) -> List[FlowRecord]:
+    """Parse data lines, applying fault injection and error policy.
+
+    Args:
+        lines: Raw log lines (comments/blanks included).
+        source: Stable source label for injection decisions (file name or
+            ``"<string>"``), so the same plan garbles the same lines of
+            the same log on every run.
+        on_error: ``"raise"`` (default strict mode) or ``"skip"``.
+
+    Raises:
+        ValueError: On malformed lines under ``on_error="raise"``, or for
+            an unknown ``on_error``.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    plan: Optional[FaultPlan] = active_plan()
     records: List[FlowRecord] = []
-    with open(path, "r", encoding="ascii") as handle:
-        for line in handle:
-            if not line.strip() or line.startswith("#"):
-                continue
+    skipped = 0
+    for index, line in enumerate(lines):
+        if not line.strip() or line.startswith("#"):
+            continue
+        injected = plan is not None and plan.decide(
+            plan.line_garble, "logio/garble", source, str(index)
+        )
+        if injected:
+            line = line.rstrip("\n")[: max(0, len(line) // 2)]
+        try:
             records.append(parse_record(line))
+        except ValueError:
+            if injected or on_error == "skip":
+                skipped += 1
+                continue
+            raise
+    if skipped:
+        degradation.record(
+            "trace/logio", degraded=1, skipped=skipped
+        )
     return records
+
+
+def read_flow_log(
+    path: Union[str, Path], on_error: str = "raise"
+) -> List[FlowRecord]:
+    """Read a flow-log file back into records (comments skipped).
+
+    Args:
+        path: The log file.
+        on_error: ``"raise"`` aborts on the first malformed line;
+            ``"skip"`` drops malformed lines and records them as
+            degradation.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        return _ingest(handle, Path(path).name, on_error)
 
 
 def dumps(records: Iterable[FlowRecord]) -> str:
@@ -85,11 +144,6 @@ def dumps(records: Iterable[FlowRecord]) -> str:
     return buffer.getvalue()
 
 
-def loads(text: str) -> List[FlowRecord]:
-    """Parse records from a string."""
-    records: List[FlowRecord] = []
-    for line in text.splitlines():
-        if not line.strip() or line.startswith("#"):
-            continue
-        records.append(parse_record(line))
-    return records
+def loads(text: str, on_error: str = "raise") -> List[FlowRecord]:
+    """Parse records from a string (see :func:`read_flow_log`)."""
+    return _ingest(text.splitlines(), "<string>", on_error)

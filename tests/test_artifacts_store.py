@@ -275,3 +275,51 @@ class TestDefaultStore:
         assert first is not second
         assert second.root == tmp_path / "b"
         reset_default_store()
+
+
+def _read_corrupt_slot(args):
+    """Worker: read one (possibly corrupt) key; report what happened."""
+    root, key = args
+    store = ArtifactStore(root)
+    value = store.get(key, "MISS", stage="heal")
+    return (value, store.stats.quarantined)
+
+
+class TestQuarantineHealing:
+    def test_two_processes_race_on_one_truncated_object(self, tmp_path):
+        # One truncated object, two concurrent readers.  Whatever the
+        # interleaving — both read the corrupt bytes, or the loser finds
+        # the slot already quarantined — both see a plain miss, exactly
+        # one quarantine move wins, and a subsequent put heals the slot
+        # while the bad bytes stay inspectable.
+        from concurrent.futures import ProcessPoolExecutor
+
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {"payload": "original"}, stage="heal")
+        path = store.object_path(KEY)
+        path.write_bytes(path.read_bytes()[:5])
+
+        args = [(str(tmp_path), KEY)] * 2
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            outcomes = list(pool.map(_read_corrupt_slot, args))
+
+        assert [value for value, _ in outcomes] == ["MISS", "MISS"]
+        assert sum(q for _, q in outcomes) == 1
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+        store.put(KEY, {"payload": "healed"}, stage="heal")
+        assert store.get(KEY, stage="heal") == {"payload": "healed"}
+        lifetime = store.lifetime_counters()
+        assert lifetime["total"]["quarantined"] == 1
+        assert lifetime["stages"]["heal"]["misses"] == 2
+
+    def test_writer_heals_while_reader_quarantines(self, tmp_path):
+        # Sequential interleaving of the same race: the reader quarantines
+        # the corrupt object while a fresh writer has already re-put it.
+        reader = ArtifactStore(tmp_path)
+        writer = ArtifactStore(tmp_path)
+        reader.put(KEY, [1, 2, 3], stage="s")
+        path = reader.object_path(KEY)
+        path.write_bytes(b"\x80garbage")
+        writer.put(KEY, [4, 5, 6], stage="s")  # heals before the reader reads
+        assert reader.get(KEY, stage="s") == [4, 5, 6]
+        assert reader.stats.quarantined == 0

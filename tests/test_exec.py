@@ -30,6 +30,11 @@ def _return_unpicklable(_x):
     return lambda: None  # noqa: E731 - deliberately unpicklable
 
 
+def _nested_failing_map(_x):
+    # A task that fans out its own executor and hits a failure there.
+    return ParallelExecutor("serial").map(_explode_on_three, [3])
+
+
 class TestConstruction:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -114,6 +119,44 @@ class TestFaultContainment:
         clone = pickle.loads(pickle.dumps(error))
         assert clone.label == "task[0]"
         assert clone.worker_traceback == "trace text"
+
+    def test_execution_error_attempts_survive_repickling(self):
+        # Regression: __reduce__ must carry all five fields.  Rebuilding
+        # from the first four silently reset attempts to 1 the second
+        # time the error crossed a process boundary (nested pools).
+        error = ExecutionError("task[0]", "ValueError", "boom", "tb",
+                               attempts=4)
+        once = pickle.loads(pickle.dumps(error))
+        twice = pickle.loads(pickle.dumps(once))
+        assert once.attempts == 4
+        assert twice.attempts == 4
+        assert twice.cause_type == "ValueError"
+        assert twice.worker_traceback == "tb"
+
+    def test_nested_pool_failure_keeps_root_cause(self):
+        # An inner pool's ExecutionError re-contained by an outer pool
+        # must surface the *root* cause, not "ExecutionError".
+        inner = ExecutionError("inner[2]", "KeyError", "lost",
+                               "innermost traceback")
+        shipped = pickle.loads(pickle.dumps(inner))  # inner pool boundary
+        outer = ExecutionError.wrap("outer[0]", shipped, "outer traceback")
+        final = pickle.loads(pickle.dumps(outer))    # outer pool boundary
+        assert final.label == "outer[0] -> inner[2]"
+        assert final.cause_type == "KeyError"
+        assert final.cause_message == "lost"
+        assert final.worker_traceback == "innermost traceback"
+
+    def test_live_nested_pools_preserve_diagnosis(self):
+        executor = ParallelExecutor("process", max_workers=2)
+        results = executor.map(
+            _nested_failing_map, ["run"], on_error="return"
+        )
+        error = results[0]
+        assert isinstance(error, ExecutionError)
+        assert error.cause_type == "ValueError"
+        assert "poisoned item 3" in error.cause_message
+        assert "ValueError: poisoned item 3" in error.worker_traceback
+        assert " -> " in error.label
 
     def test_unpicklable_result_contained_not_fatal(self):
         executor = ParallelExecutor("process", max_workers=2)

@@ -1,0 +1,73 @@
+"""Golden-digest regression test.
+
+``tests/golden/study_scale_0.01.digests`` pins the per-dataset
+content digests of the paper study at ``--scale 0.01 --seed 7`` (the
+CLI defaults).  Any change to simulator or trace-shaping behaviour shows
+up here as a digest drift; refresh the fixture deliberately with
+``scripts/update_golden.sh`` and call the change out in review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.driver import run_all
+
+GOLDEN = Path(__file__).parent / "golden" / "study_scale_0.01.digests"
+
+SCALE = 0.01
+SEED = 7
+
+
+def golden_lines():
+    return [
+        line.strip()
+        for line in GOLDEN.read_text(encoding="ascii").splitlines()
+        if line.strip()
+    ]
+
+
+@pytest.fixture(scope="module")
+def current_digests():
+    results = run_all(scale=SCALE, seed=SEED)
+    return {
+        name: result.dataset.content_digest()
+        for name, result in results.items()
+    }
+
+
+def test_fixture_is_well_formed():
+    lines = golden_lines()
+    assert lines, "golden fixture is empty"
+    for line in lines:
+        parts = line.split()
+        assert len(parts) == 3 and parts[0] == "digest", line
+        assert len(parts[2]) == 64 and int(parts[2], 16) >= 0, line
+    names = [line.split()[1] for line in lines]
+    assert names == sorted(names)
+
+
+def test_digests_match_golden(current_digests):
+    expected = {
+        line.split()[1]: line.split()[2] for line in golden_lines()
+    }
+    assert set(current_digests) == set(expected)
+    drifted = {
+        name: (expected[name], digest)
+        for name, digest in current_digests.items()
+        if digest != expected[name]
+    }
+    assert not drifted, (
+        "dataset digests drifted from tests/golden/study_scale_0.01.digests "
+        f"(run scripts/update_golden.sh if intentional): {drifted}"
+    )
+
+
+def test_digests_are_run_stable(current_digests):
+    again = {
+        name: result.dataset.content_digest()
+        for name, result in run_all(scale=SCALE, seed=SEED).items()
+    }
+    assert again == current_digests

@@ -1,0 +1,199 @@
+"""Property-based invariant tests (hypothesis).
+
+Randomised checks of the invariants the analysis stack leans on:
+
+- Session building *partitions* the input flows: every flow lands in
+  exactly one session, bytes are conserved, and an infinite gap collapses
+  each (client, video) pair to a single session.
+- :func:`repro.artifacts.keys.canonicalize` is deterministic, JSON-stable
+  and insensitive to mapping/set iteration order.
+- The python and numpy kernels agree flow-for-flow on generated tables.
+
+The whole module skips cleanly when hypothesis is not installed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.artifacts.keys import canonicalize, stage_key  # noqa: E402
+from repro.core.sessions import (  # noqa: E402
+    PAPER_GAP_SWEEP_S,
+    build_sessions,
+    gap_sensitivity,
+)
+from repro.trace.columnar import KERNELS_ENV, kernels_backend  # noqa: E402
+from repro.trace.records import FlowRecord  # noqa: E402
+
+
+def flow_records(min_size=0, max_size=60):
+    """A strategy for messy flow lists: few keys, heavy overlap, ties."""
+
+    def build(raw):
+        return [
+            FlowRecord(
+                src_ip=client,
+                dst_ip=server,
+                num_bytes=num_bytes,
+                t_start=t_start * 0.5,
+                t_end=t_start * 0.5 + duration,
+                video_id=f"vid{video}",
+                resolution="360p",
+            )
+            for client, server, video, num_bytes, t_start, duration in raw
+        ]
+
+    record = st.tuples(
+        st.integers(min_value=1, max_value=4),     # client
+        st.integers(min_value=100, max_value=104),  # server
+        st.integers(min_value=0, max_value=3),      # video
+        st.integers(min_value=0, max_value=10**7),  # bytes
+        st.integers(min_value=0, max_value=40),     # start half-seconds
+        st.sampled_from([0.0, 0.25, 1.0, 5.0, 30.0]),
+    )
+    return st.lists(record, min_size=min_size, max_size=max_size).map(build)
+
+
+gaps = st.sampled_from(list(PAPER_GAP_SWEEP_S) + [0.25, 2.5])
+
+
+class TestSessionInvariants:
+    @given(records=flow_records(), gap_s=gaps)
+    @settings(max_examples=80, deadline=None)
+    def test_sessions_partition_the_flows(self, records, gap_s):
+        sessions = build_sessions(records, gap_s=gap_s)
+        grouped = [f for s in sessions for f in s.flows]
+        assert Counter(grouped) == Counter(records)
+
+    @given(records=flow_records(), gap_s=gaps)
+    @settings(max_examples=80, deadline=None)
+    def test_bytes_are_conserved(self, records, gap_s):
+        sessions = build_sessions(records, gap_s=gap_s)
+        assert sum(s.total_bytes for s in sessions) == \
+            sum(r.num_bytes for r in records)
+
+    @given(records=flow_records(), gap_s=gaps)
+    @settings(max_examples=80, deadline=None)
+    def test_sessions_are_homogeneous_and_ordered(self, records, gap_s):
+        for session in build_sessions(records, gap_s=gap_s):
+            assert session.num_flows >= 1
+            assert all(f.src_ip == session.client_ip for f in session.flows)
+            assert all(f.video_id == session.video_id for f in session.flows)
+            starts = [f.t_start for f in session.flows]
+            assert starts == sorted(starts)
+
+    @given(records=flow_records(min_size=1))
+    @settings(max_examples=80, deadline=None)
+    def test_infinite_gap_means_one_session_per_client_video(self, records):
+        sessions = build_sessions(records, gap_s=float("inf"))
+        keys = [(s.client_ip, s.video_id) for s in sessions]
+        assert len(keys) == len(set(keys))
+        assert set(keys) == {(r.src_ip, r.video_id) for r in records}
+
+    @given(records=flow_records())
+    @settings(max_examples=60, deadline=None)
+    def test_widening_the_gap_never_adds_sessions(self, records):
+        counts = [
+            len(build_sessions(records, gap_s=gap))
+            for gap in sorted(PAPER_GAP_SWEEP_S)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+# A recursive strategy over everything canonicalize() accepts.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+canonical_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+        st.frozensets(st.integers(min_value=-50, max_value=50), max_size=6),
+        st.binary(max_size=12),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalize:
+    @given(value=canonical_values)
+    @settings(max_examples=120, deadline=None)
+    def test_output_is_json_stable(self, value):
+        canonical = canonicalize(value)
+        text = json.dumps(canonical, sort_keys=True)
+        assert json.loads(text) == canonical
+        assert canonicalize(value) == canonical  # deterministic
+
+    @given(mapping=st.dictionaries(st.text(max_size=8), json_scalars,
+                                   min_size=2, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_mapping_order_is_irrelevant(self, mapping):
+        reversed_map = dict(reversed(list(mapping.items())))
+        assert canonicalize(mapping) == canonicalize(reversed_map)
+        assert stage_key("s", mapping) == stage_key("s", reversed_map)
+
+    @given(items=st.lists(st.integers(min_value=-100, max_value=100),
+                          min_size=1, max_size=8, unique=True))
+    @settings(max_examples=80, deadline=None)
+    def test_set_iteration_order_is_irrelevant(self, items):
+        assert canonicalize(set(items)) == canonicalize(set(reversed(items)))
+        assert canonicalize(frozenset(items)) == canonicalize(set(items))
+
+    @given(items=st.lists(json_scalars, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_sequences_stay_order_sensitive(self, items):
+        assert canonicalize(items) == canonicalize(tuple(items))
+        reversed_items = list(reversed(items))
+        if reversed_items != items:
+            assert canonicalize(reversed_items) != canonicalize(items)
+
+
+class TestKernelParity:
+    @pytest.fixture(autouse=True)
+    def _numpy_available(self):
+        pytest.importorskip("numpy")
+
+    def _on(self, monkeypatch, backend, fn):
+        monkeypatch.setenv(KERNELS_ENV, backend)
+        assert kernels_backend() == backend
+        return fn()
+
+    @given(records=flow_records(), gap_s=gaps)
+    @settings(max_examples=50, deadline=None)
+    def test_session_parity(self, records, gap_s):
+        monkeypatch = pytest.MonkeyPatch()
+        try:
+            py = self._on(monkeypatch, "python",
+                          lambda: build_sessions(records, gap_s=gap_s))
+            np_ = self._on(monkeypatch, "numpy",
+                           lambda: build_sessions(records, gap_s=gap_s))
+        finally:
+            monkeypatch.undo()
+        assert [(s.client_ip, s.video_id, s.flows) for s in py] == \
+            [(s.client_ip, s.video_id, s.flows) for s in np_]
+
+    @given(records=flow_records(min_size=1))
+    @settings(max_examples=30, deadline=None)
+    def test_gap_sweep_parity(self, records):
+        monkeypatch = pytest.MonkeyPatch()
+        try:
+            py = self._on(monkeypatch, "python",
+                          lambda: gap_sensitivity(records, PAPER_GAP_SWEEP_S))
+            np_ = self._on(monkeypatch, "numpy",
+                           lambda: gap_sensitivity(records, PAPER_GAP_SWEEP_S))
+        finally:
+            monkeypatch.undo()
+        assert py == np_

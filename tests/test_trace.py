@@ -154,6 +154,40 @@ class TestMonitor:
         with pytest.raises(ValueError):
             EdgeMonitor(vantage, miss_probability=1.0)
 
+    def _observed_ids(self, vantage, seed):
+        monitor = EdgeMonitor(vantage, miss_probability=0.3, seed=seed)
+        for i in range(200):
+            event = self.make_event(i)
+            event = FlowEvent(
+                t_start=event.t_start, t_end=event.t_end,
+                client_ip=event.client_ip, server_ip=event.server_ip,
+                num_bytes=event.num_bytes, video_id=f"vid{i:08d}",
+                resolution=event.resolution, kind=event.kind,
+            )
+            monitor.observe(event)
+        return {r.video_id for r in monitor.finish("X", 3600.0).records}
+
+    def test_same_seed_drops_the_same_flows(self, vantage):
+        first = self._observed_ids(vantage, seed=17)
+        second = self._observed_ids(vantage, seed=17)
+        assert first == second
+        assert 0 < len(first) < 200
+
+    def test_different_seeds_drop_different_flows(self, vantage):
+        assert self._observed_ids(vantage, seed=17) != \
+            self._observed_ids(vantage, seed=18)
+
+    def test_miss_counters_are_seed_deterministic(self, vantage):
+        counts = []
+        for _ in range(2):
+            monitor = EdgeMonitor(vantage, miss_probability=0.3, seed=5)
+            monitor.observe_all(self.make_event(i) for i in range(300))
+            counts.append((monitor.observed, monitor.missed,
+                           monitor.record_count))
+        assert counts[0] == counts[1]
+        assert counts[0][0] == 300
+        assert counts[0][1] + counts[0][2] == 300
+
 
 class TestLogIo:
     def test_roundtrip_string(self):
