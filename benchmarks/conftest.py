@@ -21,6 +21,7 @@ import pytest
 # warm-cache behaviour instead.
 os.environ.setdefault("REPRO_CACHE", "off")
 
+from repro import obs
 from repro.artifacts.store import default_store
 from repro.core.pipeline import StudyPipeline
 from repro.exec import ParallelExecutor
@@ -52,6 +53,7 @@ def executor():
             OUT_DIR / f"timing_{executor.backend}.json",
             cache=store.stats_summary() if store is not None else None,
             phases=phases_summary(),
+            metrics=obs.current_run().metrics.snapshot(),
         )
 
 

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Observability smoke test.
+
+Runs the paper study with tracing on and asserts the tracing layer's
+three guarantees:
+
+1. **Coverage** — a traced ``repro study`` writes a ``trace_<run>.jsonl``
+   whose root ``cli/study`` span accounts for the run's wall time, and
+   whose Chrome export is valid ``trace_event`` JSON containing at least
+   one worker task span nested under an ``exec/map`` span.
+2. **Consistency** — the trace's ``cache.*`` counters agree exactly with
+   the artifact store's ``events.jsonl`` ledger for the same run (the
+   counters travel back from workers through task captures; the ledger
+   is written where the event happens — two independent paths, one
+   truth).
+3. **Transparency** — ``REPRO_TRACE=off`` produces byte-identical study
+   stdout (same per-dataset content digests) and writes no trace file.
+
+The parsed check results land in ``benchmarks/out/trace_report.json``;
+the trace files themselves stay in ``benchmarks/out/traces/`` for the CI
+artifact upload.
+
+Usage::
+
+    python scripts/trace_smoke.py [--scale 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_DIR = REPO / "benchmarks" / "out"
+TRACE_DIR = OUT_DIR / "traces"
+
+
+def run_study(scale: float, cache_dir: str, trace: bool,
+              backend: str = "serial") -> tuple[str, float]:
+    """One ``repro study --digests`` subprocess; returns (stdout, wall_s)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.pop("REPRO_CACHE", None)
+    env["REPRO_EXECUTOR"] = backend
+    env["REPRO_EXECUTOR_WORKERS"] = "4"
+    if trace:
+        env.pop("REPRO_TRACE", None)
+    else:
+        env["REPRO_TRACE"] = "off"
+    command = [sys.executable, "-m", "repro", "study",
+               "--scale", str(scale), "--digests"]
+    if trace:
+        command += ["--trace", str(TRACE_DIR)]
+    start = time.perf_counter()
+    proc = subprocess.run(command, env=env, cwd=REPO, text=True,
+                          capture_output=True, check=True)
+    return proc.stdout, time.perf_counter() - start
+
+
+def run_trace_cli(*argv: str) -> str:
+    """One ``repro trace ...`` subprocess; returns its stdout."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run([sys.executable, "-m", "repro", "trace", *argv],
+                          env=env, cwd=REPO, text=True,
+                          capture_output=True, check=True)
+    return proc.stdout
+
+
+def read_trace(path: Path) -> tuple[list[dict], dict]:
+    """The span entries and metrics snapshot of one trace JSONL."""
+    spans: list[dict] = []
+    metrics: dict = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        entry = json.loads(line)
+        if entry.get("type") == "span":
+            spans.append(entry)
+        elif entry.get("type") == "metrics":
+            metrics = entry.get("data", {})
+    return spans, metrics
+
+
+def counter_total(metrics: dict, name: str) -> int:
+    """One counter summed over every label set in a metrics snapshot."""
+    return int(sum(
+        value for flat, value in metrics.get("counters", {}).items()
+        if flat == name or flat.startswith(name + "{")
+    ))
+
+
+def ledger_tally(cache_dir: str, skip_lines: int = 0) -> dict[str, int]:
+    """Event → count over the ledger, skipping the first ``skip_lines``."""
+    tally: dict[str, int] = {}
+    ledger = Path(cache_dir) / "events.jsonl"
+    if not ledger.is_file():
+        return tally
+    for line in ledger.read_text(encoding="utf-8").splitlines()[skip_lines:]:
+        try:
+            event = json.loads(line).get("event", "")
+        except ValueError:
+            continue
+        tally[event] = tally.get(event, 0) + 1
+    return tally
+
+
+def ledger_lines(cache_dir: str) -> int:
+    ledger = Path(cache_dir) / "events.jsonl"
+    if not ledger.is_file():
+        return 0
+    return len(ledger.read_text(encoding="utf-8").splitlines())
+
+
+def latest_trace() -> Path:
+    traces = sorted(TRACE_DIR.glob("trace_*.jsonl"),
+                    key=lambda p: p.stat().st_mtime)
+    if not traces:
+        raise SystemExit(f"no trace files in {TRACE_DIR}")
+    return traces[-1]
+
+
+def digests(stdout: str) -> list[str]:
+    return sorted(line for line in stdout.splitlines()
+                  if line.startswith("digest "))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    args = parser.parse_args()
+
+    TRACE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in TRACE_DIR.glob("trace_*.jsonl"):
+        stale.unlink()
+
+    failures: list[str] = []
+    report: dict = {"scale": args.scale}
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as cache_dir:
+        # ---- cold traced run (process backend: real worker propagation)
+        mark = ledger_lines(cache_dir)
+        cold_out, cold_wall = run_study(args.scale, cache_dir, trace=True,
+                                        backend="process")
+        cold_trace = latest_trace()
+        spans, metrics = read_trace(cold_trace)
+        cold_ledger = ledger_tally(cache_dir, skip_lines=mark)
+
+        roots = [s for s in spans if s.get("parent") is None]
+        if len(roots) != 1 or roots[0]["name"] != "cli/study":
+            failures.append(f"expected one cli/study root span, got "
+                            f"{[r['name'] for r in roots]}")
+        else:
+            root_s = roots[0]["end"] - roots[0]["start"]
+            report["root_inclusive_s"] = round(root_s, 3)
+            report["subprocess_wall_s"] = round(cold_wall, 3)
+            # The root span covers everything after arg parsing; the
+            # subprocess wall additionally pays interpreter startup, so
+            # the root must fit inside it but still account for the bulk.
+            if not 0 < root_s <= cold_wall:
+                failures.append(
+                    f"root span {root_s:.3f}s outside wall {cold_wall:.3f}s")
+            if root_s < 0.25 * cold_wall:
+                failures.append(
+                    f"root span {root_s:.3f}s covers <25% of wall "
+                    f"{cold_wall:.3f}s — instrumentation hole?")
+
+        worker_spans = [s for s in spans
+                        if s["name"].startswith("task:") and "." in s["id"]]
+        report["worker_spans"] = len(worker_spans)
+        if not worker_spans:
+            failures.append("no worker task spans came back from the pool")
+        map_ids = {s["id"] for s in spans if s["name"] == "exec/map"}
+        if not any(s.get("parent") in map_ids for s in worker_spans):
+            failures.append("worker task spans are not nested under exec/map")
+
+        # ---- counters vs ledger (cold)
+        for event, counter in (("hit", "cache.hit"), ("miss", "cache.miss"),
+                               ("put", "cache.put")):
+            in_trace = counter_total(metrics, counter)
+            in_ledger = cold_ledger.get(event, 0)
+            report[f"cold_{counter}"] = in_trace
+            report[f"cold_ledger_{event}"] = in_ledger
+            if in_trace != in_ledger:
+                failures.append(
+                    f"cold run: trace {counter}={in_trace} but ledger "
+                    f"recorded {in_ledger} '{event}' events")
+
+        # ---- warm traced run (serial): counters must match again
+        mark = ledger_lines(cache_dir)
+        warm_out, _ = run_study(args.scale, cache_dir, trace=True)
+        _, warm_metrics = read_trace(latest_trace())
+        warm_ledger = ledger_tally(cache_dir, skip_lines=mark)
+        warm_hits = counter_total(warm_metrics, "cache.hit")
+        report["warm_cache_hit"] = warm_hits
+        report["warm_ledger_hit"] = warm_ledger.get("hit", 0)
+        if warm_hits != warm_ledger.get("hit", 0):
+            failures.append(
+                f"warm run: trace cache.hit={warm_hits} but ledger "
+                f"recorded {warm_ledger.get('hit', 0)} hits")
+        if warm_hits < 1:
+            failures.append("warm run served nothing from cache")
+
+        # ---- REPRO_TRACE=off: byte-identical stdout, no trace file
+        before = len(list(TRACE_DIR.glob("trace_*.jsonl")))
+        off_out, _ = run_study(args.scale, cache_dir, trace=False)
+        after = len(list(TRACE_DIR.glob("trace_*.jsonl")))
+        report["off_run_identical"] = off_out == warm_out
+        if off_out != warm_out:
+            failures.append("REPRO_TRACE=off changed the study stdout")
+        if digests(off_out) != digests(cold_out):
+            failures.append("REPRO_TRACE=off changed dataset digests")
+        if after != before:
+            failures.append("REPRO_TRACE=off still wrote a trace file")
+
+    # ---- the trace CLI views over the cold trace
+    summary = run_trace_cli("summary", str(cold_trace))
+    if "cli/study" not in summary:
+        failures.append("'repro trace summary' does not show the root span")
+    chrome_path = TRACE_DIR / "chrome_study.json"
+    run_trace_cli("export", str(cold_trace), "--format", "chrome",
+                  "--out", str(chrome_path))
+    chrome = json.loads(chrome_path.read_text(encoding="utf-8"))
+    events = [e for e in chrome.get("traceEvents", []) if e.get("ph") == "X"]
+    tids = {e["tid"] for e in events}
+    report["chrome_events"] = len(events)
+    report["chrome_tracks"] = len(tids)
+    if not any(e["name"].startswith("task:") for e in events):
+        failures.append("Chrome export has no worker task events")
+    if len(tids) < 2:
+        failures.append("Chrome export collapses workers onto one track")
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUT_DIR / "trace_report.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("trace smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

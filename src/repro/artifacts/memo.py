@@ -27,6 +27,7 @@ import functools
 import inspect
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.artifacts.keys import stage_key
 from repro.artifacts.store import default_store
 
@@ -74,16 +75,22 @@ def memoized_stage(
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            store = default_store()
-            if store is None:
-                return fn(*args, **kwargs)
-            key = cache_key(*args, **kwargs)
-            value = store.get(key, _MISS, stage=stage)
-            if value is not _MISS:
+            # The span shows whether this stage call was served from
+            # cache (``cached`` attribute) and how long it took either
+            # way; a ``None`` active span means tracing is off.
+            with obs.span(f"stage/{stage}") as active:
+                store = default_store()
+                if store is None:
+                    return fn(*args, **kwargs)
+                key = cache_key(*args, **kwargs)
+                value = store.get(key, _MISS, stage=stage)
+                if active is not None:
+                    active.attrs["cached"] = value is not _MISS
+                if value is not _MISS:
+                    return value
+                value = fn(*args, **kwargs)
+                store.put(key, value, stage=stage)
                 return value
-            value = fn(*args, **kwargs)
-            store.put(key, value, stage=stage)
-            return value
 
         wrapper.cache_key = cache_key
         wrapper.stage = stage

@@ -26,9 +26,12 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro import obs
 
 #: Environment variable naming the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -187,6 +190,15 @@ class ArtifactStore:
             default: Returned on a miss.
             stage: Stage name for the event ledger.
         """
+        start = time.perf_counter()
+        try:
+            return self._get(key, default, stage)
+        finally:
+            obs.observe(
+                "cache.get_seconds", time.perf_counter() - start, stage=stage
+            )
+
+    def _get(self, key: str, default: Any, stage: str) -> Any:
         path = self.object_path(key)
         try:
             blob = path.read_bytes()
@@ -280,6 +292,14 @@ class ArtifactStore:
 
     # -------------------------------------------------------------- counters
 
+    #: Ledger event → observability counter (see ``repro.obs``).
+    _OBS_COUNTERS = {
+        "hit": "cache.hit",
+        "miss": "cache.miss",
+        "put": "cache.put",
+        "quarantine": "cache.quarantined",
+    }
+
     def _record(self, event: str, stage: str, num_bytes: int) -> None:
         """Append one event to the ledger (best-effort) and count it."""
         if event == "hit":
@@ -288,6 +308,9 @@ class ArtifactStore:
             self.stats.misses += 1
         elif event == "put":
             self.stats.puts += 1
+        counter = self._OBS_COUNTERS.get(event)
+        if counter is not None:
+            obs.inc(counter, stage=stage or "(unlabelled)")
         line = json.dumps(
             {"event": event, "stage": stage, "bytes": num_bytes},
             separators=(",", ":"),

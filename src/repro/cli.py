@@ -22,6 +22,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.active.testvideo import TestVideoExperiment
 from repro.core.asmap import render_table2
 from repro.exec.executor import BACKENDS, ParallelExecutor
@@ -56,6 +57,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "or a path to one (default: $REPRO_FAULTS; see "
                              "docs/architecture.md). Faulted runs are exactly "
                              "reproducible from (seed, plan)")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="write this run's trace_<run>.jsonl into DIR "
+                             "(default: $REPRO_TRACE_DIR; inspect it with "
+                             "'repro trace'. Tracing never changes outputs; "
+                             "REPRO_TRACE=off disables it entirely)")
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[ParallelExecutor]:
@@ -171,6 +177,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache_gc.add_argument("--max-size", required=True,
                             help="size budget, e.g. 750K, 500M, 2G, or bytes")
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect trace_<run>.jsonl files from traced runs"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tr_summary = trace_sub.add_parser(
+        "summary", help="span tree with inclusive/exclusive times and counters"
+    )
+    p_tr_summary.add_argument("trace_file", help="trace_<run>.jsonl path")
+    p_tr_summary.add_argument("--depth", type=int, default=None,
+                              help="limit the tree depth (default: unlimited)")
+    p_tr_slowest = trace_sub.add_parser(
+        "slowest", help="top spans by exclusive time (where the run went)"
+    )
+    p_tr_slowest.add_argument("trace_file", help="trace_<run>.jsonl path")
+    p_tr_slowest.add_argument("--top", type=int, default=10)
+    p_tr_export = trace_sub.add_parser(
+        "export", help="convert a trace to another format"
+    )
+    p_tr_export.add_argument("trace_file", help="trace_<run>.jsonl path")
+    p_tr_export.add_argument("--format", choices=("chrome",), default="chrome",
+                             help="chrome: trace_event JSON for "
+                                  "chrome://tracing / ui.perfetto.dev")
+    p_tr_export.add_argument("--out", required=True, help="output path")
+    p_tr_diff = trace_sub.add_parser(
+        "diff", help="per-span-name time deltas between two traces"
+    )
+    p_tr_diff.add_argument("trace_a", help="baseline trace_<run>.jsonl")
+    p_tr_diff.add_argument("trace_b", help="comparison trace_<run>.jsonl")
+    p_tr_diff.add_argument("--top", type=int, default=10)
     return parser
 
 
@@ -441,6 +477,33 @@ def cmd_cache(args: argparse.Namespace, out) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    try:
+        if args.trace_command == "diff":
+            doc_a = obs.read_trace(args.trace_a)
+            doc_b = obs.read_trace(args.trace_b)
+        else:
+            doc = obs.read_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=out)
+        return 2
+    if args.trace_command == "summary":
+        print(obs.render_summary(doc, max_depth=args.depth), file=out)
+        return 0
+    if args.trace_command == "slowest":
+        print(obs.render_slowest(doc, top=args.top), file=out)
+        return 0
+    if args.trace_command == "export":
+        path = obs.write_chrome(doc, args.out)
+        print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)",
+              file=out)
+        return 0
+    if args.trace_command == "diff":
+        print(obs.render_diff(doc_a, doc_b, top=args.top), file=out)
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "study": cmd_study,
@@ -451,6 +514,7 @@ _COMMANDS = {
     "anonymize": cmd_anonymize,
     "sweep": cmd_sweep,
     "cache": cmd_cache,
+    "trace": cmd_trace,
 }
 
 
@@ -487,7 +551,23 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         os.environ[faults_plan.ENV_FAULTS] = plan.to_json()
         faults_plan.clear_current_plan()
         degradation.reset()
-    return _COMMANDS[args.command](args, out)
+    # One fresh run context per invocation: the tracer, metrics and
+    # degradation counters all start empty, so sequential invocations in
+    # one process (tests, notebooks) never bleed into each other.
+    run = obs.new_run()
+    with obs.span(f"cli/{args.command}"):
+        code = _COMMANDS[args.command](args, out)
+    trace_dir = (
+        getattr(args, "trace", None)
+        or os.environ.get(obs.ENV_TRACE_DIR, "").strip()
+        or None
+    )
+    if trace_dir and obs.trace_enabled() and args.command != "trace":
+        # stderr, not `out`: stdout must stay byte-identical whether or
+        # not a trace is being written.
+        path = obs.write_trace(run, trace_dir)
+        print(f"trace: {path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Mapping, Optional
 
+from repro import obs
 from repro.core import asmap, flows, geography, hotspots, loadbalance, nonpreferred
 from repro.core import peering as peering_mod
 from repro.core import preferred as preferred_mod
@@ -212,7 +213,8 @@ class StudyPipeline:
                     seed=derive_seed(self._seed, "prober", f"campaign/{name}"),
                 )
             )
-        measured = run_campaigns(jobs, executor=self._executor)
+        with obs.span("pipeline/rtt_campaigns", campaigns=len(jobs)):
+            measured = run_campaigns(jobs, executor=self._executor)
         degradation.stage_completed("pipeline/rtt_campaigns")
         return dict(zip(self._results, measured))
 
@@ -249,7 +251,8 @@ class StudyPipeline:
                 raise LookupError(f"cannot reach server {ip} for probing")
             return self.geolocator.geolocate_target(site)
 
-        server_map = cluster_servers(union, geolocate)
+        with obs.span("pipeline/server_map", servers=len(union)):
+            server_map = cluster_servers(union, geolocate)
         degradation.stage_completed("pipeline/server_map")
         return server_map
 

@@ -39,6 +39,8 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import obs
+
 #: Recognised backend names, in documentation order.
 BACKENDS = ("serial", "thread", "process")
 
@@ -186,23 +188,58 @@ def _inject_task_fault(label: str, attempt: int) -> None:
         )
 
 
-def _timed_call(fn: Callable[[Any], Any], item: Any, label: str, attempt: int = 1):
+@dataclass
+class TaskOutcome:
+    """One task attempt's result as it travels back from a worker.
+
+    Attributes:
+        seconds: Wall time spent inside the task function.
+        payload: The task's value, or a contained :class:`ExecutionError`.
+        capture: The task's span/metrics capture
+            (:class:`~repro.obs.TaskCapture`), when tracing is on and a
+            span context was propagated; ``None`` otherwise.
+        collected_abs: ``time.perf_counter()`` in the *dispatching*
+            process at the moment the outcome was collected — the anchor
+            for rebasing the capture's relative span times onto the
+            dispatcher's clock.  Filled in by the dispatcher, never the
+            worker (their monotonic clocks are unrelated).
+    """
+
+    seconds: float
+    payload: Any
+    capture: Optional[obs.TaskCapture] = None
+    collected_abs: float = 0.0
+
+
+def _timed_call(
+    fn: Callable[[Any], Any],
+    item: Any,
+    label: str,
+    attempt: int = 1,
+    span_ctx: Optional[obs.SpanContext] = None,
+):
     """Run one task attempt, capturing wall time and any failure.
 
-    Module-level so the process backend can pickle it.  Returns
-    ``(seconds, payload)`` where the payload is either the task's value or
-    an :class:`ExecutionError` built from the in-worker traceback.
+    Module-level so the process backend can pickle it.  Returns a
+    :class:`TaskOutcome` whose payload is either the task's value or an
+    :class:`ExecutionError` built from the in-worker traceback.  When a
+    span context rides along, the attempt runs inside a ``task:<label>``
+    capture span, so everything the task records (nested spans, cache
+    counters) travels back for merging under the dispatching map span.
     """
+    capture = obs.task_capture(span_ctx, label, attempt)
     start = time.perf_counter()
     try:
-        _inject_task_fault(label, attempt)
-        value = fn(item)
+        with capture:
+            _inject_task_fault(label, attempt)
+            value = fn(item)
     except Exception as exc:  # contain, never kill the pool
-        return (
+        return TaskOutcome(
             time.perf_counter() - start,
             ExecutionError.wrap(label, exc, traceback.format_exc()),
+            capture.result,
         )
-    return (time.perf_counter() - start, value)
+    return TaskOutcome(time.perf_counter() - start, value, capture.result)
 
 
 class ParallelExecutor:
@@ -293,51 +330,67 @@ class ParallelExecutor:
             retry = default_retry_policy() if active_plan() is not None else None
 
         start = time.perf_counter()
-        outcomes: List[Optional[tuple]] = [None] * len(items)
-        pending_idx = list(range(len(items)))
-        attempt = 1
-        retries = 0
-        while pending_idx:
-            round_outcomes = self._dispatch(
-                fn, [items[i] for i in pending_idx],
-                [labels[i] for i in pending_idx], attempt,
-            )
-            for i, outcome in zip(pending_idx, round_outcomes):
-                payload = outcome[1]
-                if isinstance(payload, ExecutionError):
-                    payload.attempts = max(payload.attempts, attempt)
-                outcomes[i] = outcome
-            if retry is None or attempt >= retry.max_attempts:
-                break
-            if (
-                retry.max_deadline_s is not None
-                and time.perf_counter() - start >= retry.max_deadline_s
-            ):
-                break
-            retryable = [
-                i for i in pending_idx
-                if isinstance(outcomes[i][1], ExecutionError)
-                and retry.retryable(outcomes[i][1].cause_type)
-            ]
-            if not retryable:
-                break
-            retries += len(retryable)
-            from repro.faults import report as degradation
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
+        with obs.span("exec/map", backend=self.backend, tasks=len(items)) as map_span:
+            contexts: List[Optional[obs.SpanContext]] = [None] * len(items)
+            if map_span is not None:
+                contexts = [
+                    obs.SpanContext(
+                        parent_id=map_span.span_id,
+                        prefix=f"{map_span.span_id}.t{i}",
+                    )
+                    for i in range(len(items))
+                ]
+            pending_idx = list(range(len(items)))
+            attempt = 1
+            retries = 0
+            while pending_idx:
+                round_outcomes = self._dispatch(
+                    fn, [items[i] for i in pending_idx],
+                    [labels[i] for i in pending_idx], attempt,
+                    [contexts[i] for i in pending_idx],
+                )
+                for i, outcome in zip(pending_idx, round_outcomes):
+                    payload = outcome.payload
+                    if isinstance(payload, ExecutionError):
+                        payload.attempts = max(payload.attempts, attempt)
+                    outcomes[i] = outcome
+                    obs.merge_capture(outcome.capture, outcome.collected_abs)
+                if retry is None or attempt >= retry.max_attempts:
+                    break
+                if (
+                    retry.max_deadline_s is not None
+                    and time.perf_counter() - start >= retry.max_deadline_s
+                ):
+                    break
+                retryable = [
+                    i for i in pending_idx
+                    if isinstance(outcomes[i].payload, ExecutionError)
+                    and retry.retryable(outcomes[i].payload.cause_type)
+                ]
+                if not retryable:
+                    break
+                retries += len(retryable)
+                from repro.faults import report as degradation
 
-            degradation.record("exec/map", retried=len(retryable))
-            delay = retry.delay_s(attempt, labels[retryable[0]])
-            if delay > 0:
-                time.sleep(delay)
-            pending_idx = retryable
-            attempt += 1
+                degradation.record("exec/map", retried=len(retryable))
+                obs.inc("retries", len(retryable), stage="exec/map")
+                delay = retry.delay_s(attempt, labels[retryable[0]])
+                if delay > 0:
+                    time.sleep(delay)
+                pending_idx = retryable
+                attempt += 1
+            if map_span is not None and retries:
+                map_span.attrs["retries"] = retries
         wall_s = time.perf_counter() - start
 
         timings: List[TaskTiming] = []
         results: List[Any] = []
         first_error: Optional[ExecutionError] = None
-        for label, (seconds, payload) in zip(labels, outcomes):
+        for label, outcome in zip(labels, outcomes):
+            payload = outcome.payload
             failed = isinstance(payload, ExecutionError)
-            timings.append(TaskTiming(label=label, seconds=seconds, ok=not failed))
+            timings.append(TaskTiming(label=label, seconds=outcome.seconds, ok=not failed))
             results.append(payload)
             if failed and first_error is None:
                 first_error = payload
@@ -355,28 +408,31 @@ class ParallelExecutor:
         items: List[Any],
         labels: List[str],
         attempt: int,
-    ) -> List[tuple]:
+        contexts: List[Optional[obs.SpanContext]],
+    ) -> List[TaskOutcome]:
         """Run one attempt round over the backend, results in input order."""
         if self.backend == "serial" or len(items) <= 1:
-            return [
-                _timed_call(fn, item, label, attempt)
-                for item, label in zip(items, labels)
-            ]
-        return self._pooled(fn, items, labels, attempt)
+            outcomes = []
+            for item, label, ctx in zip(items, labels, contexts):
+                outcome = _timed_call(fn, item, label, attempt, ctx)
+                outcome.collected_abs = time.perf_counter()
+                outcomes.append(outcome)
+            return outcomes
+        return self._pooled(fn, items, labels, attempt, contexts)
 
     def _pooled(
         self, fn: Callable[[Any], Any], items: List[Any], labels: List[str],
-        attempt: int = 1,
-    ) -> List[tuple]:
+        attempt: int, contexts: List[Optional[obs.SpanContext]],
+    ) -> List[TaskOutcome]:
         """Fan a batch out over a worker pool, preserving input order."""
         workers = self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(items)))
         pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
-        outcomes: List[Optional[tuple]] = [None] * len(items)
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
         with pool_cls(max_workers=workers) as pool:
             futures: Dict[Future, int] = {}
-            for i, (item, label) in enumerate(zip(items, labels)):
-                futures[pool.submit(_timed_call, fn, item, label, attempt)] = i
+            for i, (item, label, ctx) in enumerate(zip(items, labels, contexts)):
+                futures[pool.submit(_timed_call, fn, item, label, attempt, ctx)] = i
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -387,7 +443,7 @@ class ParallelExecutor:
                     except Exception as exc:
                         # Transport-level failure (e.g. an unpicklable
                         # result): contain it like an in-task error.
-                        outcomes[i] = (
+                        outcomes[i] = TaskOutcome(
                             0.0,
                             ExecutionError(
                                 labels[i],
@@ -396,6 +452,7 @@ class ParallelExecutor:
                                 traceback.format_exc(),
                             ),
                         )
+                    outcomes[i].collected_abs = time.perf_counter()
         return outcomes
 
     # ------------------------------------------------------------- timings

@@ -7,13 +7,15 @@ quarantined objects, log ingestion counts skipped lines — and the run
 ends with one :class:`DegradationReport`: per stage, how much completed,
 how much was retried, how much degraded, how much was skipped.
 
-The collector is module-level (like
-:func:`repro.reporting.timing.phase_timer`'s accumulator) and records
-only while a plan is installed, so clean runs pay nothing and tests can
-reset it.  Process-pool caveat: counters live in the recording process;
-in-worker events surface either through values returned to the parent
-(campaign outcomes), through retried failures the parent observes, or
-through the artifact store's cross-process ledger.
+The collector's storage lives on the current
+:class:`~repro.obs.runctx.RunContext` (not a module global), so
+sequential studies in one process each get a fresh tally and
+``obs.new_run()`` resets everything per-run at once.  It records only
+while a plan is installed, so clean runs pay nothing.  Process-pool
+caveat: counters live in the recording process; in-worker events surface
+either through values returned to the parent (campaign outcomes),
+through retried failures the parent observes, or through the artifact
+store's cross-process ledger.
 """
 
 from __future__ import annotations
@@ -22,12 +24,16 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.faults.plan import current_plan
+from repro.obs.runctx import current_run
 
 #: Counter keys with dedicated meaning, in reporting order.  Stages may
 #: record additional ad-hoc counters; they sort after these.
 CORE_COUNTERS = ("completed", "retried", "degraded", "skipped")
 
-_EVENTS: Dict[str, Dict[str, int]] = {}
+
+def _events() -> Dict[str, Dict[str, int]]:
+    """The current run's degradation tally (run-scoped, not module-global)."""
+    return current_run().degradation
 
 
 def record(stage: str, **counts: int) -> None:
@@ -39,7 +45,7 @@ def record(stage: str, **counts: int) -> None:
     """
     if current_plan() is None:
         return
-    tally = _EVENTS.setdefault(stage, {})
+    tally = _events().setdefault(stage, {})
     for name, delta in counts.items():
         if delta:
             tally[name] = tally.get(name, 0) + int(delta)
@@ -52,7 +58,7 @@ def stage_completed(stage: str, degraded: bool = False) -> None:
 
 def reset() -> None:
     """Drop every recorded counter (fresh runs and tests)."""
-    _EVENTS.clear()
+    _events().clear()
 
 
 @dataclass
@@ -103,7 +109,7 @@ def collect(reset_after: bool = False) -> DegradationReport:
         reset_after: Also clear the collector (end-of-run emission).
     """
     report = DegradationReport(
-        stages={stage: dict(tally) for stage, tally in _EVENTS.items()}
+        stages={stage: dict(tally) for stage, tally in _events().items()}
     )
     if reset_after:
         reset()

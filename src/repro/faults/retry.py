@@ -164,6 +164,9 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, error)
+                from repro import obs
+
+                obs.inc("retries", 1, stage="faults/retry")
                 delay = self.delay_s(attempt, label)
                 if delay > 0:
                     sleep(delay)

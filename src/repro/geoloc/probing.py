@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.artifacts.keys import CanonicalizationError, stage_key
 from repro.artifacts.store import default_store
 from repro.exec.executor import ParallelExecutor, default_executor
@@ -279,4 +280,10 @@ def _unpack_outcome(job: CampaignJob, value) -> Dict[object, float]:
         timeouts=value.timeouts,
         retried=value.retried,
     )
+    if value.lost:
+        obs.inc("probe.lost", value.lost, stage="geoloc/campaign")
+    if value.timeouts:
+        obs.inc("probe.timeout", value.timeouts, stage="geoloc/campaign")
+    if value.retried:
+        obs.inc("retries", value.retried, stage="geoloc/campaign")
     return value.measurements

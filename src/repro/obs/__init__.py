@@ -1,0 +1,84 @@
+"""Unified observability: hierarchical spans + run-scoped metrics.
+
+``repro.obs`` is the one home for "what happened and how long did it
+take" across the pipeline.  The pieces:
+
+* :mod:`repro.obs.tracer` — span recording (``span(...)`` context
+  manager), ambient counter/histogram helpers, and the cross-process
+  propagation machinery (:class:`SpanContext` out, :class:`TaskCapture`
+  back, mirroring how ``REPRO_FAULTS`` travels).
+* :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram
+  registry that snapshots into ``timing_*.json``.
+* :mod:`repro.obs.runctx` — the per-run context scoping the tracer,
+  metrics, and degradation counters, fixing the old cross-run
+  accumulation leaks.
+* :mod:`repro.obs.export` — trace JSONL, Chrome ``trace_event`` export,
+  and the summary/slowest/diff renderers behind ``repro trace``.
+
+Set ``REPRO_TRACE=off`` to disable everything; the study's outputs are
+byte-identical either way because nothing here touches RNG state or
+artifact-cache keys.
+"""
+
+from repro.obs.export import (
+    TraceDoc,
+    phase_times,
+    read_trace,
+    render_diff,
+    render_slowest,
+    render_summary,
+    to_chrome,
+    write_chrome,
+    write_trace,
+)
+from repro.obs.metrics import HISTOGRAM_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.runctx import RunContext, current_run, new_run, set_current_run
+from repro.obs.tracer import (
+    ENV_TRACE,
+    ENV_TRACE_DIR,
+    SpanContext,
+    SpanRecord,
+    TaskCapture,
+    Tracer,
+    current_tracer,
+    inc,
+    merge_capture,
+    observe,
+    set_gauge,
+    span,
+    task_capture,
+    trace_enabled,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "ENV_TRACE_DIR",
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "RunContext",
+    "SpanContext",
+    "SpanRecord",
+    "TaskCapture",
+    "TraceDoc",
+    "Tracer",
+    "current_run",
+    "current_tracer",
+    "inc",
+    "merge_capture",
+    "new_run",
+    "observe",
+    "phase_times",
+    "read_trace",
+    "render_diff",
+    "render_slowest",
+    "render_summary",
+    "set_current_run",
+    "set_gauge",
+    "span",
+    "task_capture",
+    "to_chrome",
+    "trace_enabled",
+    "write_chrome",
+    "write_trace",
+]

@@ -1,0 +1,85 @@
+"""The run context: one object scoping every per-run accumulator.
+
+Before this module existed, the codebase had grown three independent
+module-level accumulators — ``reporting.timing._PHASES``,
+``faults.report._EVENTS``, and the executor's ``stats`` lists — each with
+its own reset discipline and each leaking across sequential studies in
+one process.  The :class:`RunContext` replaces the first two outright:
+the tracer (whose spans subsume phase timings) and the degradation
+counters live on the context, and starting a new run
+(:func:`new_run`) gives every accumulator a fresh start atomically.
+
+The context is process-global, not thread-local: worker *threads* of one
+run share its degradation tally (exactly like the old module globals),
+while span attribution inside tasks goes through the per-thread capture
+stack in :mod:`repro.obs.tracer`.  Worker *processes* get their own
+fresh context; their spans and metrics travel back inside task captures,
+and their degradation events surface through returned values, as before.
+
+Run ids are ``run-<pid>-<n>`` from a process-local counter — unique
+enough to name trace files, free of ``uuid``/wall-clock entropy, and
+never part of any artifact-cache key.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+_seq = itertools.count(1)
+
+
+class RunContext:
+    """Everything scoped to one run: tracer, metrics, degradation tally.
+
+    Attributes:
+        run_id: Stable name for this run's artifacts (trace files).
+        tracer: The run's span recorder; its monotonic origin is the
+            run's t=0.
+        degradation: Per-stage degradation counters
+            (:mod:`repro.faults.report` records here).
+    """
+
+    def __init__(self, run_id: Optional[str] = None):
+        self.run_id = run_id or f"run-{os.getpid()}-{next(_seq)}"
+        self.tracer = Tracer()
+        self.degradation: Dict[str, Dict[str, int]] = {}
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry (lives on the tracer so worker
+        captures and the ambient-tracer resolution share one home)."""
+        return self.tracer.metrics
+
+
+_current: Optional[RunContext] = None
+
+
+def current_run() -> RunContext:
+    """The process's active run context (created lazily on first use)."""
+    global _current
+    if _current is None:
+        _current = RunContext()
+    return _current
+
+
+def new_run(run_id: Optional[str] = None) -> RunContext:
+    """Start a fresh run context and make it current.
+
+    The CLI calls this once per invocation, which is what keeps phases,
+    metrics, and degradation rows from one study out of the next one's
+    reports when several studies run in a single process.
+    """
+    global _current
+    _current = RunContext(run_id)
+    return _current
+
+
+def set_current_run(run: Optional[RunContext]) -> None:
+    """Install a specific context (tests); ``None`` resets to lazy."""
+    global _current
+    _current = run

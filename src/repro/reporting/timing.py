@@ -9,15 +9,16 @@ document the CI benchmark-smoke job uploads as an artifact.
 from __future__ import annotations
 
 import json
-import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Sequence
 
+from repro import obs
 from repro.exec.executor import MapStats, TaskTiming
 from repro.reporting.tables import TextTable
 
-#: Accumulated wall time per named analysis phase (see :func:`phase_timer`).
-_PHASES: Dict[str, float] = {}
+
+def _is_phase(record: obs.SpanRecord) -> bool:
+    return record.attrs.get("kind") == "phase"
 
 
 @contextmanager
@@ -27,27 +28,32 @@ def phase_timer(name: str) -> Iterator[None]:
     The pipeline wraps its analysis stages (session building, the gap
     sweep, the hot-spot scans) with this, so ``timing_*.json`` breaks out
     where a study's analysis time goes — the view that makes the
-    ``REPRO_KERNELS`` speedup visible.  Nested/ repeated uses of one name
+    ``REPRO_KERNELS`` speedup visible.  Nested/repeated uses of one name
     accumulate.
+
+    This is now a thin shim over :func:`repro.obs.span`: a phase is a
+    span with ``kind="phase"``, recorded on the current run's tracer.
+    Phase accounting is therefore scoped to the run — sequential studies
+    in one process no longer bleed phase times into each other — and the
+    same region shows up in ``repro trace`` output.  Disabled (zero
+    cost, empty summaries) when ``REPRO_TRACE=off``.
     """
-    start = time.perf_counter()
-    try:
+    with obs.span(name, kind="phase"):
         yield
-    finally:
-        _PHASES[name] = _PHASES.get(name, 0.0) + time.perf_counter() - start
 
 
 def phases_summary(reset: bool = False) -> Dict[str, float]:
     """A copy of the accumulated per-phase wall times, name → seconds."""
-    snapshot = {name: round(seconds, 6) for name, seconds in sorted(_PHASES.items())}
+    tracer = obs.current_run().tracer
+    snapshot = obs.phase_times(tracer.records)
     if reset:
-        _PHASES.clear()
+        tracer.drop(_is_phase)
     return snapshot
 
 
 def reset_phases() -> None:
     """Drop all accumulated phase timings (tests and fresh runs)."""
-    _PHASES.clear()
+    obs.current_run().tracer.drop(_is_phase)
 
 
 def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMINGS") -> str:
@@ -63,6 +69,7 @@ def timing_summary(
     cache: Optional[Dict[str, Any]] = None,
     phases: Optional[Dict[str, float]] = None,
     degradation: Optional[Any] = None,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Aggregate a run's map batches into one JSON-ready summary.
 
@@ -80,6 +87,10 @@ def timing_summary(
             :class:`~repro.faults.report.DegradationReport`; its
             per-stage counters land under ``"degradation"`` so chaos
             runs' timing artifacts record what was absorbed.
+        metrics: Optional observability snapshot (the shape returned by
+            :meth:`repro.obs.MetricsRegistry.snapshot`); included under
+            ``"metrics"`` when non-empty, so the timing artifact carries
+            the run's cache/retry/probe counters and latency histograms.
 
     Returns:
         A dict with the backend, wall/task seconds, the observed speedup
@@ -115,6 +126,8 @@ def timing_summary(
         summary["kernels"] = kernels_backend()
     if degradation is not None and degradation.stages:
         summary["degradation"] = degradation.as_dict()
+    if metrics and any(metrics.get(k) for k in ("counters", "gauges", "histograms")):
+        summary["metrics"] = metrics
     return summary
 
 
@@ -123,9 +136,10 @@ def write_timing_json(
     path,
     cache: Optional[Dict[str, Any]] = None,
     phases: Optional[Dict[str, float]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write :func:`timing_summary` to ``path``; returns the summary."""
-    summary = timing_summary(stats, cache=cache, phases=phases)
+    summary = timing_summary(stats, cache=cache, phases=phases, metrics=metrics)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")

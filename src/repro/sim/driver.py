@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.artifacts.memo import memoized_stage
 from repro.exec.executor import ParallelExecutor, default_executor
 from repro.sim.engine import DEFAULT_MISS_PROBABILITY, SimulationResult, run_requests
@@ -137,10 +138,11 @@ def run_all(
     }
     pending = [name for name in selected if keys[name] not in _CACHE]
     if pending:
-        executor = default_executor(executor)
-        fresh = executor.map(
-            _scenario_task, [keys[name] for name in pending], labels=pending
-        )
+        with obs.span("sim/run_all", datasets=len(pending), scale=scale):
+            executor = default_executor(executor)
+            fresh = executor.map(
+                _scenario_task, [keys[name] for name in pending], labels=pending
+            )
         for name, result in zip(pending, fresh):
             _CACHE[keys[name]] = result
     return {name: _CACHE[keys[name]] for name in selected}

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.artifacts.memo import memoized_stage
 from repro.artifacts.store import default_store
 from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
@@ -340,21 +341,23 @@ def run_shared(
 
     executor = default_executor(executor)
     names = list(worlds)
-    streams = executor.map(
-        _generate_task,
-        [worlds[name] for name in names],
-        labels=[f"generate/{name}" for name in names],
-    )
-    tagged: List[Tuple[float, str, Request]] = []
-    for name, stream in zip(names, streams):
-        for request in stream:
-            tagged.append((request.t_s, name, request))
-    tagged.sort(key=lambda item: item[0])
+    with obs.span("sim/shared_generate", datasets=len(names)):
+        streams = executor.map(
+            _generate_task,
+            [worlds[name] for name in names],
+            labels=[f"generate/{name}" for name in names],
+        )
+    with obs.span("sim/shared_process", datasets=len(names)):
+        tagged: List[Tuple[float, str, Request]] = []
+        for name, stream in zip(names, streams):
+            for request in stream:
+                tagged.append((request.t_s, name, request))
+        tagged.sort(key=lambda item: item[0])
 
-    processors = {name: RequestProcessor(world) for name, world in worlds.items()}
-    for _, name, request in tagged:
-        processors[name].process(request)
-    return {name: processor.finish() for name, processor in processors.items()}
+        processors = {name: RequestProcessor(world) for name, world in worlds.items()}
+        for _, name, request in tagged:
+            processors[name].process(request)
+        return {name: processor.finish() for name, processor in processors.items()}
 
 
 @memoized_stage("sim/shared_study", ignore=("executor",))
