@@ -39,29 +39,41 @@ from repro.whatif.variants import standard_variants, variant_by_name
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=float, default=0.02,
-                        help="traffic scale relative to the paper (default 0.02)")
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="traffic scale relative to the paper (default 0.02)",
+    )
     parser.add_argument("--seed", type=int, default=7, help="master seed")
-    parser.add_argument("--parallel", choices=BACKENDS, default=None,
-                        help="execution backend for independent runs "
-                             "(default: $REPRO_EXECUTOR, else serial; "
-                             "results are identical on every backend)")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="worker bound for --parallel (default: CPU count)")
-    parser.add_argument("--kernels", choices=("python", "numpy"), default=None,
-                        help="analysis kernel backend (default: $REPRO_KERNELS, "
-                             "else numpy when available; outputs are identical "
-                             "on both backends)")
-    parser.add_argument("--faults", default=None, metavar="PLAN",
-                        help="deterministic fault-injection plan: a JSON object "
-                             "or a path to one (default: $REPRO_FAULTS; see "
-                             "docs/architecture.md). Faulted runs are exactly "
-                             "reproducible from (seed, plan)")
-    parser.add_argument("--trace", default=None, metavar="DIR",
-                        help="write this run's trace_<run>.jsonl into DIR "
-                             "(default: $REPRO_TRACE_DIR; inspect it with "
-                             "'repro trace'. Tracing never changes outputs; "
-                             "REPRO_TRACE=off disables it entirely)")
+    parser.add_argument(
+        "--parallel", choices=BACKENDS, default=None,
+        help="execution backend for independent runs "
+        "(default: $REPRO_EXECUTOR, else serial; "
+        "results are identical on every backend)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker bound for --parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--kernels", choices=("python", "numpy"), default=None,
+        help="analysis kernel backend (default: $REPRO_KERNELS, "
+        "else numpy when available; outputs are identical "
+        "on both backends)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan: a JSON object "
+        "or a path to one (default: $REPRO_FAULTS; see "
+        "docs/architecture.md). Faulted runs are exactly "
+        "reproducible from (seed, plan)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="write this run's trace_<run>.jsonl into DIR "
+        "(default: $REPRO_TRACE_DIR; inspect it with "
+        "'repro trace'. Tracing never changes outputs; "
+        "REPRO_TRACE=off disables it entirely)",
+    )
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[ParallelExecutor]:
@@ -84,40 +96,79 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Dissecting Video Server Selection "
-                    "Strategies in the YouTube CDN' (ICDCS 2011).",
+        "Strategies in the YouTube CDN' (ICDCS 2011).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sim = sub.add_parser("simulate", help="simulate one dataset and write a flow log")
     p_sim.add_argument("--dataset", choices=DATASET_NAMES, required=True)
     p_sim.add_argument("--out", required=True, help="output flow-log path (TSV)")
-    p_sim.add_argument("--policy", choices=("preferred", "proportional"),
-                       default="preferred")
+    p_sim.add_argument("--policy", choices=("preferred", "proportional"), default="preferred")
     p_sim.add_argument("--duration-days", type=float, default=7.0)
     _add_common(p_sim)
 
     p_study = sub.add_parser("study", help="run the full five-dataset study")
-    p_study.add_argument("--landmarks", type=int, default=120,
-                         help="CBG landmark budget (default 120; max 215)")
-    p_study.add_argument("--shared", action="store_true",
-                         help="run all vantage points against one shared CDN "
-                              "(interleaved, interacting) instead of "
-                              "independent per-scenario worlds")
-    p_study.add_argument("--full", action="store_true",
-                         help="print the full study report (every table and "
-                              "figure) instead of the summary")
-    p_study.add_argument("--validate", action="store_true",
-                         help="also print the methodology-validation report "
-                              "(inference vs. simulator ground truth)")
-    p_study.add_argument("--digests", action="store_true",
-                         help="append one 'digest <dataset> <sha256>' line per "
-                              "dataset (byte-identity checks across runs)")
+    p_study.add_argument(
+        "--landmarks", type=int, default=120,
+        help="CBG landmark budget (default 120; max 215)",
+    )
+    p_study.add_argument(
+        "--shared", action="store_true",
+        help="run all vantage points against one shared CDN "
+        "(interleaved, interacting) instead of "
+        "independent per-scenario worlds",
+    )
+    p_study.add_argument(
+        "--full", action="store_true",
+        help="print the full study report (every table and "
+        "figure) instead of the summary",
+    )
+    p_study.add_argument(
+        "--validate", action="store_true",
+        help="also print the methodology-validation report "
+        "(inference vs. simulator ground truth)",
+    )
+    p_study.add_argument(
+        "--digests", action="store_true",
+        help="append one 'digest <dataset> <sha256>' line per "
+        "dataset (byte-identity checks across runs)",
+    )
+    p_study.add_argument(
+        "--stream", action="store_true",
+        help="event-driven ingestion: consume each week as a "
+        "watermarked stream with bounded memory instead "
+        "of materialising it; output is byte-identical "
+        "to the batch path at any --window-s",
+    )
+    p_study.add_argument(
+        "--window-s", type=float, default=3600.0,
+        help="tumbling-window width for --stream, in seconds "
+        "(default 3600; any positive value yields the "
+        "same bytes)",
+    )
     _add_common(p_study)
 
     p_sessions = sub.add_parser("sessions", help="session analysis of a flow log")
     p_sessions.add_argument("--flows", required=True, help="flow-log path")
-    p_sessions.add_argument("--gaps", default="1,5,10,60,300",
-                            help="comma-separated gap values in seconds")
+    p_sessions.add_argument(
+        "--gaps", default="1,5,10,60,300", help="comma-separated gap values in seconds"
+    )
+    p_sessions.add_argument(
+        "--stream", action="store_true",
+        help="replay the log as a watermarked stream and "
+        "build sessions incrementally (byte-identical "
+        "output, bounded memory)",
+    )
+    p_sessions.add_argument(
+        "--window-s", type=float, default=3600.0,
+        help="tumbling-window width for --stream (seconds)",
+    )
+    p_sessions.add_argument(
+        "--lag-s", type=float, default=0.0,
+        help="watermark lag for --stream: tolerate records "
+        "up to this many seconds out of order "
+        "(default 0; sorted logs need none)",
+    )
 
     p_cold = sub.add_parser("coldvideo", help="run the PlanetLab cold-video experiment")
     p_cold.add_argument("--nodes", type=int, default=45)
@@ -152,10 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="dose-response sweep of one scenario parameter"
     )
     p_sweep.add_argument("--dataset", choices=DATASET_NAMES, required=True)
-    p_sweep.add_argument("--parameter", required=True,
-                         help="ScenarioSpec field to vary")
-    p_sweep.add_argument("--values", required=True,
-                         help="comma-separated grid values")
+    p_sweep.add_argument("--parameter", required=True, help="ScenarioSpec field to vary")
+    p_sweep.add_argument("--values", required=True, help="comma-separated grid values")
     p_sweep.add_argument(
         "--metrics", default="preferred_share,miss_rate,overload_rate",
         help="comma-separated ScenarioMetrics attributes to print",
@@ -169,8 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_stats = cache_sub.add_parser(
         "stats", help="hit/miss/byte counters and the on-disk census"
     )
-    p_cache_stats.add_argument("--json", action="store_true", dest="as_json",
-                               help="machine-readable output")
+    p_cache_stats.add_argument(
+        "--json", action="store_true", dest="as_json", help="machine-readable output"
+    )
     cache_sub.add_parser("clear", help="delete every cached artifact")
     p_cache_gc = cache_sub.add_parser(
         "gc", help="evict least-recently-used artifacts down to a size budget"
@@ -186,8 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="span tree with inclusive/exclusive times and counters"
     )
     p_tr_summary.add_argument("trace_file", help="trace_<run>.jsonl path")
-    p_tr_summary.add_argument("--depth", type=int, default=None,
-                              help="limit the tree depth (default: unlimited)")
+    p_tr_summary.add_argument(
+        "--depth", type=int, default=None, help="limit the tree depth (default: unlimited)"
+    )
     p_tr_slowest = trace_sub.add_parser(
         "slowest", help="top spans by exclusive time (where the run went)"
     )
@@ -197,9 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="convert a trace to another format"
     )
     p_tr_export.add_argument("trace_file", help="trace_<run>.jsonl path")
-    p_tr_export.add_argument("--format", choices=("chrome",), default="chrome",
-                             help="chrome: trace_event JSON for "
-                                  "chrome://tracing / ui.perfetto.dev")
+    p_tr_export.add_argument(
+        "--format", choices=("chrome",), default="chrome",
+        help="chrome: trace_event JSON for chrome://tracing / ui.perfetto.dev",
+    )
     p_tr_export.add_argument("--out", required=True, help="output path")
     p_tr_diff = trace_sub.add_parser(
         "diff", help="per-span-name time deltas between two traces"
@@ -219,8 +271,10 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
         policy_kind=args.policy,
     )
     count = write_flow_log(result.dataset.records, args.out)
-    print(f"wrote {count} flows ({result.dataset.total_bytes / 1e9:.2f} GB) "
-          f"to {args.out}", file=out)
+    print(
+        f"wrote {count} flows ({result.dataset.total_bytes / 1e9:.2f} GB) to {args.out}",
+        file=out,
+    )
     return 0
 
 
@@ -238,13 +292,11 @@ def _render_study(args: argparse.Namespace):
     if args.shared:
         from repro.sim.multistudy import run_shared_study
 
-        results = run_shared_study(scale=args.scale, seed=args.seed,
-                                   executor=executor)
+        results = run_shared_study(scale=args.scale, seed=args.seed, executor=executor)
     else:
         results = run_all(scale=args.scale, seed=args.seed, executor=executor)
     landmark_count = None if args.landmarks >= 215 else args.landmarks
-    pipeline = StudyPipeline(results, landmark_count=landmark_count,
-                             executor=executor)
+    pipeline = StudyPipeline(results, landmark_count=landmark_count, executor=executor)
     if args.full:
         from repro.core.report import render_study_report
 
@@ -269,19 +321,62 @@ def _render_study(args: argparse.Namespace):
 
         print("", file=buffer)
         print(render_validation(validate_study(pipeline, results)), file=buffer)
-    digests = {name: result.dataset.content_digest()
-               for name, result in results.items()}
+    digests = {name: result.dataset.content_digest() for name, result in results.items()}
     return buffer.getvalue(), digests
+
+
+def _render_stream_study(args: argparse.Namespace):
+    """Run the study through the streaming path (see :mod:`repro.stream`).
+
+    Returns:
+        ``(text, digests)`` with exactly the bytes :func:`_render_study`
+        produces for the same parameters.
+    """
+    from repro.stream.study import render_stream_report, run_streaming_study
+
+    landmark_count = None if args.landmarks >= 215 else args.landmarks
+    study = run_streaming_study(
+        scale=args.scale,
+        seed=args.seed,
+        window_s=args.window_s,
+        landmark_count=landmark_count,
+        executor=executor_from_args(args),
+    )
+    stats_path = os.environ.get("REPRO_STREAM_STATS", "").strip()
+    if stats_path:
+        import json
+
+        from repro.stream.study import peak_rss_kb
+
+        payload = {
+            "window_s": args.window_s,
+            "peak_rss_kb": peak_rss_kb(),
+            "datasets": study.stats(),
+        }
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return render_stream_report(study), study.digests()
 
 
 def cmd_study(args: argparse.Namespace, out) -> int:
     from repro.artifacts.keys import stage_key
     from repro.artifacts.store import default_store
 
+    if args.stream and (args.shared or args.full or args.validate):
+        print(
+            "--stream renders the summary report only; it cannot be "
+            "combined with --shared, --full or --validate",
+            file=sys.stderr,
+        )
+        return 2
     # The rendered report is itself a stage artifact: on a warm cache the
     # whole study is one read, which is what makes re-runs startup-bound.
     # Keyed by everything the text depends on; --parallel/--workers change
-    # only how the work is scheduled, never the bytes, so they stay out.
+    # only how the work is scheduled, never the bytes, so they stay out —
+    # and so do --stream/--window-s, which are execution strategies under
+    # the same byte-parity contract (a streamed run and a batch run fill
+    # and hit the same artifact).
     store = default_store()
     payload = None
     key = None
@@ -296,7 +391,10 @@ def cmd_study(args: argparse.Namespace, out) -> int:
         })
         payload = store.get(key, None, stage="cli/study")
     if payload is None:
-        text, digests = _render_study(args)
+        if args.stream:
+            text, digests = _render_stream_study(args)
+        else:
+            text, digests = _render_study(args)
         payload = {"text": text, "digests": digests}
         if store is not None:
             store.put(key, payload, stage="cli/study")
@@ -316,6 +414,8 @@ def cmd_study(args: argparse.Namespace, out) -> int:
 
 
 def cmd_sessions(args: argparse.Namespace, out) -> int:
+    if args.stream:
+        return _cmd_sessions_stream(args, out)
     records = read_flow_log(args.flows)
     if not records:
         print("flow log is empty", file=out)
@@ -330,6 +430,63 @@ def cmd_sessions(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_sessions_stream(args: argparse.Namespace, out) -> int:
+    """Streamed ``sessions``: one replay pass per gap, bounded memory.
+
+    Prints exactly the batch command's bytes for any time-sorted log (or
+    any log whose disorder stays within ``--lag-s``).
+    """
+    from repro.stream.accumulators import SessionStatsAccumulator
+    from repro.stream.events import FlowArrival
+    from repro.stream.source import replay_flow_log
+    from repro.stream.windows import TumblingWindower, WindowedSessionBuilder
+
+    gaps = [float(g) for g in args.gaps.split(",") if g.strip()]
+    if not gaps:
+        flows = sum(
+            1
+            for event in replay_flow_log(args.flows, watermark_lag_s=args.lag_s)
+            if isinstance(event, FlowArrival)
+        )
+        if flows == 0:
+            print("flow log is empty", file=out)
+            return 1
+        print(f"{flows} flows", file=out)
+        return 0
+    lines = []
+    flows = 0
+    for gap in gaps:
+        windower = TumblingWindower(args.window_s)
+        builder = WindowedSessionBuilder(gap)
+        stats = SessionStatsAccumulator()
+        flows = 0
+        last_boundary = float("-inf")
+        for event in replay_flow_log(args.flows, watermark_lag_s=args.lag_s):
+            for window in windower.push(event):
+                flows += len(window)
+                stats.add(builder.observe_window(window))
+            boundary = windower.sealed_boundary_s
+            if boundary > last_boundary:
+                last_boundary = boundary
+                stats.add(builder.advance(boundary))
+        for window in windower.finish():
+            flows += len(window)
+            stats.add(builder.observe_window(window))
+        stats.add(builder.finish())
+        if flows == 0:
+            print("flow log is empty", file=out)
+            return 1
+        histogram = stats.histogram()
+        cells = " ".join(f"{k}:{histogram[k]:.3f}" for k in ("1", "2", "3", ">9"))
+        lines.append(
+            f"T={gap:>6.1f}s sessions={builder.sessions_closed:7d}  {cells}"
+        )
+    print(f"{flows} flows", file=out)
+    for line in lines:
+        print(line, file=out)
+    return 0
+
+
 def cmd_coldvideo(args: argparse.Namespace, out) -> int:
     world = build_world(PAPER_SCENARIOS["EU1-ADSL"], scale=0.002, seed=args.seed)
     experiment = TestVideoExperiment(world, num_nodes=args.nodes, seed=args.seed)
@@ -337,10 +494,17 @@ def cmd_coldvideo(args: argparse.Namespace, out) -> int:
     cdf = report.ratio_cdf()
     exemplar = report.most_improved()
     print(f"test video {report.video_id} at {', '.join(report.origin_dcs)}", file=out)
-    print(f"exemplar {exemplar.node.name}: "
-          + " ".join(f"{r:.0f}" for r in exemplar.rtts_ms[:8]) + " ms", file=out)
-    print(f"ratio>1.2: {1 - cdf.fraction_below(1.2):.1%}   "
-          f"ratio>10: {1 - cdf.fraction_below(10.0):.1%}", file=out)
+    print(
+        f"exemplar {exemplar.node.name}: "
+        + " ".join(f"{r:.0f}" for r in exemplar.rtts_ms[:8])
+        + " ms",
+        file=out,
+    )
+    print(
+        f"ratio>1.2: {1 - cdf.fraction_below(1.2):.1%}   "
+        f"ratio>10: {1 - cdf.fraction_below(10.0):.1%}",
+        file=out,
+    )
     return 0
 
 
@@ -349,8 +513,10 @@ def cmd_whatif(args: argparse.Namespace, out) -> int:
         variants = [variant_by_name(name.strip()) for name in args.variants.split(",")]
     else:
         variants = standard_variants()
-    report = compare_variants(args.dataset, variants, scale=args.scale,
-                              seed=args.seed, executor=executor_from_args(args))
+    report = compare_variants(
+        args.dataset, variants, scale=args.scale, seed=args.seed,
+        executor=executor_from_args(args),
+    )
     print(render_comparison(report), file=out)
     return 0
 
@@ -361,8 +527,7 @@ def cmd_figures(args: argparse.Namespace, out) -> int:
     executor = executor_from_args(args)
     results = run_all(scale=args.scale, seed=args.seed, executor=executor)
     landmark_count = None if args.landmarks >= 215 else args.landmarks
-    pipeline = StudyPipeline(results, landmark_count=landmark_count,
-                             executor=executor)
+    pipeline = StudyPipeline(results, landmark_count=landmark_count, executor=executor)
 
     written = []
     written.append(export_figure_cdfs(
@@ -398,8 +563,11 @@ def cmd_anonymize(args: argparse.Namespace, out) -> int:
     records = read_flow_log(args.flows)
     anonymizer = PrefixPreservingAnonymizer(args.key.encode())
     count = write_flow_log(anonymizer.anonymize_records(records), args.out)
-    print(f"anonymised {count} flows -> {args.out} "
-          "(prefix structure preserved; addresses keyed)", file=out)
+    print(
+        f"anonymised {count} flows -> {args.out} "
+        "(prefix structure preserved; addresses keyed)",
+        file=out,
+    )
     return 0
 
 
@@ -420,7 +588,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
-_SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
 
 
 def parse_size(text: str) -> int:
@@ -471,8 +639,10 @@ def cmd_cache(args: argparse.Namespace, out) -> int:
             print(f"bad --max-size: {error}", file=out)
             return 2
         removed, freed = store.gc(budget)
-        print(f"evicted {removed} artifacts ({freed / 1e6:.1f} MB) "
-              f"from {store.root}", file=out)
+        print(
+            f"evicted {removed} artifacts ({freed / 1e6:.1f} MB) from {store.root}",
+            file=out,
+        )
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
@@ -495,8 +665,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         return 0
     if args.trace_command == "export":
         path = obs.write_chrome(doc, args.out)
-        print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)",
-              file=out)
+        print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)", file=out)
         return 0
     if args.trace_command == "diff":
         print(obs.render_diff(doc_a, doc_b, top=args.top), file=out)

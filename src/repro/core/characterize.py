@@ -108,8 +108,9 @@ def characterize(dataset: Dataset) -> TraceProfile:
         raise ValueError(f"no video flows in {dataset.name}")
     singletons = sum(1 for c in counts.values() if c == 1)
     video_sizes = Cdf(r.num_bytes for r in dataset.records if is_video_flow(r))
-    hourly = [c for c in hourly_counts((r.hour for r in dataset.records),
-                                       dataset.num_hours) if c > 0]
+    hourly = [
+        c for c in hourly_counts((r.hour for r in dataset.records), dataset.num_hours) if c > 0
+    ]
     peak_to_trough = max(hourly) / min(hourly) if hourly else 0.0
     return TraceProfile(
         name=dataset.name,

@@ -74,8 +74,10 @@ def render_study_report(pipeline: StudyPipeline, hot_dataset: str = "EU1-ADSL") 
 
     lines += _section("Preferred data centers (Figures 7-9)")
     table = TextTable(
-        ["Dataset", "preferred DC", "byte share%", "min RTT [ms]",
-         "closest-5 share%", "non-preferred%"]
+        [
+            "Dataset", "preferred DC", "byte share%", "min RTT [ms]",
+            "closest-5 share%", "non-preferred%",
+        ]
     )
     for name in pipeline.dataset_names:
         report = pipeline.preferred_reports[name]
@@ -91,8 +93,10 @@ def render_study_report(pipeline: StudyPipeline, hot_dataset: str = "EU1-ADSL") 
 
     lines += _section("DNS vs. application-layer redirection (Figure 10)")
     table = TextTable(
-        ["Dataset", "1-flow pref%", "1-flow nonpref%",
-         "2f P,P%", "2f P,N%", "2f N,P%", "2f N,N%", "DNS-caused%"]
+        [
+            "Dataset", "1-flow pref%", "1-flow nonpref%",
+            "2f P,P%", "2f P,N%", "2f N,P%", "2f N,N%", "DNS-caused%",
+        ]
     )
     for name in pipeline.dataset_names:
         one = pipeline.one_flow_breakdown(name)

@@ -395,8 +395,7 @@ class ParallelExecutor:
             if failed and first_error is None:
                 first_error = payload
         self.stats.append(
-            MapStats(backend=self.backend, wall_s=wall_s, timings=timings,
-                     retries=retries)
+            MapStats(backend=self.backend, wall_s=wall_s, timings=timings, retries=retries)
         )
         if first_error is not None and on_error == "raise":
             raise first_error

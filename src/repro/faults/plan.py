@@ -24,6 +24,8 @@ is how process-pool workers inherit the plan).  The grammar::
       "task_crash": 0.02,          // P(one executor task attempt "dies")
       "artifact_corrupt": 0.5,     // P(a stored object reads back corrupt)
       "line_garble": 0.01,         // P(a flow-log line arrives garbled)
+      "record_disorder": 0.05,     // P(a streamed flow record is delayed
+                                   // out of order, within the watermark)
       "max_failures_per_task": 2   // injections stop after this many
                                    // attempts at one site (bounds retries)
     }
@@ -57,6 +59,7 @@ RATE_FIELDS = (
     "task_crash",
     "artifact_corrupt",
     "line_garble",
+    "record_disorder",
 )
 
 _TWO_63 = float(1 << 63)
@@ -78,6 +81,11 @@ class FaultPlan:
         artifact_corrupt: Chance an artifact-store read surfaces a
             truncated object (which the store quarantines and recomputes).
         line_garble: Chance a flow-log line is garbled mid-ingestion.
+        record_disorder: Chance a streamed flow record is held back and
+            re-emitted a few arrivals later.  The injector lags the
+            stream's watermark below every held record, so the disorder
+            stays *within* the watermark — the windowing layer absorbs it
+            and streamed outputs remain byte-identical.
         max_failures_per_task: Attempt ceiling per injection site; beyond
             it the site succeeds, so bounded retries always converge.
     """
@@ -89,6 +97,7 @@ class FaultPlan:
     task_crash: float = 0.0
     artifact_corrupt: float = 0.0
     line_garble: float = 0.0
+    record_disorder: float = 0.0
     max_failures_per_task: int = 2
 
     def __post_init__(self):
@@ -140,8 +149,7 @@ class FaultPlan:
 
     def to_json(self) -> str:
         """The plan as a compact JSON object (the grammar above)."""
-        return json.dumps(dataclasses.asdict(self), sort_keys=True,
-                          separators=(",", ":"))
+        return json.dumps(dataclasses.asdict(self), sort_keys=True, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":

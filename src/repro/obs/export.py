@@ -154,8 +154,7 @@ def _format_counters(counters: Dict[str, float]) -> str:
 def render_summary(doc: TraceDoc, max_depth: Optional[int] = None) -> str:
     """The span tree with inclusive/exclusive times, one line per span."""
     children = doc.children()
-    lines = [f"TRACE {doc.run_id}",
-             f"{'span':<44s} {'incl s':>9s} {'excl s':>9s}"]
+    lines = [f"TRACE {doc.run_id}", f"{'span':<44s} {'incl s':>9s} {'excl s':>9s}"]
 
     def walk(span: SpanRecord, depth: int) -> None:
         name = "  " * depth + span.name
@@ -189,8 +188,7 @@ def render_slowest(doc: TraceDoc, top: int = 10) -> str:
     )[:top]
     lines = [f"{'excl s':>9s} {'incl s':>9s}  span"]
     for excl, span in rows:
-        lines.append(f"{excl:9.3f} {span.inclusive_s:9.3f}  "
-                     f"{span.name} ({span.span_id})")
+        lines.append(f"{excl:9.3f} {span.inclusive_s:9.3f}  {span.name} ({span.span_id})")
     return "\n".join(lines)
 
 
@@ -215,8 +213,10 @@ def render_diff(a: TraceDoc, b: TraceDoc, top: int = 10) -> str:
         ((totals_b.get(n, 0.0) - totals_a.get(n, 0.0), n) for n in names),
         key=lambda pair: -abs(pair[0]),
     )[:top]
-    lines = [f"TRACE DIFF  a={a.run_id}  b={b.run_id}",
-             f"{'delta s':>9s} {'a s':>9s} {'b s':>9s}  span"]
+    lines = [
+        f"TRACE DIFF  a={a.run_id}  b={b.run_id}",
+        f"{'delta s':>9s} {'a s':>9s} {'b s':>9s}  span",
+    ]
     for delta, name in rows:
         lines.append(
             f"{delta:+9.3f} {totals_a.get(name, 0.0):9.3f} "

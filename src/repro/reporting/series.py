@@ -85,7 +85,9 @@ class Cdf:
             pts.append((self._values[-1], 1.0))
         return pts
 
-    def render(self, label: str = "value", probes: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)) -> str:
+    def render(
+        self, label: str = "value", probes: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    ) -> str:
         """A compact text rendering of key quantiles."""
         parts = [f"p{int(p * 100):02d}={self.quantile(p):.4g}" for p in probes]
         return f"CDF[{label}] n={len(self)} " + " ".join(parts)

@@ -7,10 +7,11 @@ see the same causal order a real week would produce.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cdn.cluster import RequestOutcome
 from repro.exec.executor import ParallelExecutor, default_executor
@@ -69,13 +70,18 @@ class RequestProcessor:
     dataset.
     """
 
-    def __init__(self, world: ScenarioWorld,
-                 miss_probability: float = DEFAULT_MISS_PROBABILITY):
+    def __init__(
+        self,
+        world: ScenarioWorld,
+        miss_probability: float = DEFAULT_MISS_PROBABILITY,
+        record_sink: Optional[Callable] = None,
+    ):
         self.world = world
         self.monitor = EdgeMonitor(
             world.vantage,
             miss_probability=miss_probability,
             seed=derive_seed(world.seed, world.spec.name, "monitor"),
+            sink=record_sink,
         )
         self._serve_rng = random.Random(
             derive_seed(world.seed, world.spec.name, "serve")
@@ -157,6 +163,46 @@ def run_requests(
     return processor.finish()
 
 
+def stream_requests(
+    world: ScenarioWorld,
+    requests: Optional[Sequence[Request]] = None,
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
+) -> Iterator[object]:
+    """Live-emit mode: the week as a time-ordered event stream.
+
+    Yields :class:`~repro.stream.events.WatermarkAdvance` and
+    :class:`~repro.stream.events.FlowArrival` events instead of collecting
+    a :class:`~repro.trace.records.Dataset`.  Request processing is
+    identical to :func:`run_requests` — same
+    :class:`RequestProcessor`, same miss/serve RNG consumption — so the
+    emitted records are exactly the batch dataset's records, in monitor
+    observation order.  Only the retention differs: flows are handed off
+    as they are observed, keeping memory independent of the flow count.
+
+    Watermark semantics: requests are processed in increasing ``t_s`` and
+    every flow a request produces starts at or after its ``t_s``, so the
+    current request time is a valid low watermark — no later arrival can
+    start before it.  A final infinite watermark closes the stream.
+    """
+    from repro.stream.events import FlowArrival, WatermarkAdvance
+
+    if requests is None:
+        requests = world.generator.generate(world.duration_s)
+    fresh: List = []
+    processor = RequestProcessor(
+        world, miss_probability=miss_probability, record_sink=fresh.append
+    )
+    seq = 0
+    for request in requests:
+        yield WatermarkAdvance(t_s=request.t_s)
+        processor.process(request)
+        for record in fresh:
+            yield FlowArrival(record=record, seq=seq)
+            seq += 1
+        fresh.clear()
+    yield WatermarkAdvance(t_s=math.inf)
+
+
 #: Distinct miss sentinel (a cached stage value can legitimately be None).
 _RUN_MISS = object()
 
@@ -206,8 +252,9 @@ def run_many(
     worlds = list(worlds)
     systems = {id(world.system) for world in worlds}
     if len(systems) != len(worlds):
-        raise ValueError("run_many needs independent worlds; "
-                         "use run_shared for a shared CdnSystem")
+        raise ValueError(
+            "run_many needs independent worlds; use run_shared for a shared CdnSystem"
+        )
 
     store = default_store()
     results: List[Optional[SimulationResult]] = [None] * len(worlds)

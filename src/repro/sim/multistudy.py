@@ -122,13 +122,19 @@ def build_shared_worlds(
             asn=internal_owner.vantage_asn,
         )
     legacy_dcs = [
-        build_datacenter(f"legacy-{_slug(city)}", atlas.get(city), size,
-                         legacy_alloc, YOUTUBE_EU_ASN)
+        build_datacenter(
+            f"legacy-{_slug(city)}", atlas.get(city), size, legacy_alloc, YOUTUBE_EU_ASN
+        )
         for city, size in LEGACY_DC_PLAN
     ]
     third_party_dcs = [
-        build_datacenter(f"3p-{label}-{_slug(city)}", atlas.get(city), size,
-                         third_alloc, CW_ASN if label == "cw" else GBLX_ASN)
+        build_datacenter(
+            f"3p-{label}-{_slug(city)}",
+            atlas.get(city),
+            size,
+            third_alloc,
+            CW_ASN if label == "cw" else GBLX_ASN,
+        )
         for city, label, size in THIRD_PARTY_DC_PLAN
     ]
     ranked_dcs: List[DataCenter] = list(google_dcs)
@@ -377,8 +383,7 @@ def run_shared_study(
     shapes how generation fans out, not what comes back, so it stays out
     of the key.
     """
-    return run_shared(build_shared_worlds(scale, seed, duration_s, names),
-                      executor=executor)
+    return run_shared(build_shared_worlds(scale, seed, duration_s, names), executor=executor)
 
 
 #: Distinct miss sentinel for store lookups.

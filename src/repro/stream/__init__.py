@@ -1,0 +1,53 @@
+"""Event-driven streaming ingestion (`repro study --stream`).
+
+Flow records arrive as a time-ordered event stream instead of a fully
+materialised week: the simulator's live-emit mode
+(:func:`repro.sim.engine.stream_requests`) or a flow-log replay
+(:func:`repro.stream.source.replay_flow_log`) yields
+:class:`~repro.stream.events.FlowArrival` and
+:class:`~repro.stream.events.WatermarkAdvance` events; a
+:class:`~repro.stream.windows.TumblingWindower` seals them into
+per-window :class:`~repro.trace.columnar.FlowTable` batches (so the
+numpy kernels run unchanged); a
+:class:`~repro.stream.windows.WindowedSessionBuilder` closes gap-T
+sessions incrementally; and the online accumulators
+(:mod:`repro.stream.accumulators`, :mod:`repro.core.streaming`) update
+per window with memory bounded by servers x hours + open sessions +
+one window — never by the flow count.
+
+The whole path is a drop-in execution strategy, not a fork of the
+analysis: ``repro study --stream`` renders byte-identical output (and
+``--digests`` lines) to the batch path at any window size.  See
+docs/architecture.md ("Streaming ingestion") for the watermark
+semantics and the equivalence argument.
+"""
+
+from repro.stream.events import FlowArrival, StreamWindow, WatermarkAdvance
+from repro.stream.digest import StreamingDigest
+from repro.stream.source import inject_disorder, replay_flow_log, replay_records, simulated_stream
+from repro.stream.study import (
+    StreamStudy,
+    StreamedDataset,
+    render_stream_report,
+    run_streaming_study,
+    stream_dataset,
+)
+from repro.stream.windows import TumblingWindower, WindowedSessionBuilder
+
+__all__ = [
+    "FlowArrival",
+    "StreamStudy",
+    "StreamWindow",
+    "StreamedDataset",
+    "StreamingDigest",
+    "TumblingWindower",
+    "WatermarkAdvance",
+    "WindowedSessionBuilder",
+    "inject_disorder",
+    "render_stream_report",
+    "replay_flow_log",
+    "replay_records",
+    "run_streaming_study",
+    "simulated_stream",
+    "stream_dataset",
+]

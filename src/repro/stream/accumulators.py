@@ -1,0 +1,351 @@
+"""Online per-window accumulators with bounded memory.
+
+Each accumulator folds sealed :class:`~repro.stream.events.StreamWindow`
+batches into running state sized by *distinct entities* (servers,
+clients, hours, histogram buckets) — never by the flow count — and can
+reproduce, exactly, the aggregate the batch analysis computes from the
+full record list:
+
+* :class:`TrafficAccumulator` — Table I scalars, per-server byte/flow/
+  video-flow totals in first-occurrence order.  Its derivation methods
+  rebuild the Table II AS breakdown, the Section IV focus list, the
+  Section VI-B preferred-data-center report and the Figure 9/10
+  non-preferred fraction with the same ints, the same float divisions
+  and the same tie-breaking order as the batch code paths (pinned by the
+  streaming parity tests).
+* :class:`HourlyShareAccumulator` — per-hour, per-server video-flow
+  counts (Figure 9's raw material), O(servers x hours).
+* :class:`SessionStatsAccumulator` — the Figure 5/6 flows-per-session
+  histogram over incrementally closed sessions.
+
+Accumulators honour ``REPRO_KERNELS``: under the numpy backend each
+window is collapsed with the columnar kernels; under python they iterate
+records.  Both paths produce identical integers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core import asmap
+from repro.core.flows import CONTROL_FLOW_THRESHOLD_BYTES
+from repro.core.preferred import (
+    DataCenterView,
+    PreferredDcReport,
+    _pick_preferred,
+)
+from repro.core.sessions import HISTOGRAM_BUCKETS, Session
+from repro.core.summary import DatasetSummary
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geoloc.clustering import ServerMap
+from repro.net.asn import AsRegistry, GOOGLE_ASN
+from repro.stream.events import StreamWindow
+from repro.trace.columnar import group_sum_int64, use_numpy
+
+#: Composite (server, hour) key stride for the hourly kernel; hours stay
+#: far below it for any plausible trace length.
+_HOUR_STRIDE = 1 << 20
+
+
+class _ServerStats:
+    """Running totals for one server address."""
+
+    __slots__ = ("num_bytes", "num_flows", "video_flows")
+
+    def __init__(self):
+        self.num_bytes = 0
+        self.num_flows = 0
+        self.video_flows = 0
+
+
+class TrafficAccumulator:
+    """Table I/II/VI-B state for one dataset, updated per sealed window.
+
+    Attributes:
+        flows: Total flows seen.
+        total_bytes: Total bytes seen.
+    """
+
+    def __init__(self):
+        self.flows = 0
+        self.total_bytes = 0
+        self._clients: Set[int] = set()
+        # Insertion order = first occurrence in stream (= record) order;
+        # the preferred-DC derivation replays it to reproduce the batch
+        # path's view-creation order and stable-sort tie behaviour.
+        self._servers: Dict[int, _ServerStats] = {}
+
+    @property
+    def num_servers(self) -> int:
+        """Distinct server addresses seen."""
+        return len(self._servers)
+
+    @property
+    def num_clients(self) -> int:
+        """Distinct client addresses seen."""
+        return len(self._clients)
+
+    def observe_window(self, window: StreamWindow) -> None:
+        """Fold one sealed window in."""
+        if len(window) == 0:
+            return
+        if use_numpy():
+            import numpy as np
+
+            cols = window.table.columns()
+            self.flows += len(window)
+            self.total_bytes += int(cols.num_bytes.sum())
+            self._clients.update(np.unique(cols.src_ip).tolist())
+            uniq, first_idx, inverse = np.unique(
+                cols.dst_ip, return_index=True, return_inverse=True
+            )
+            bytes_per = group_sum_int64(inverse, cols.num_bytes, len(uniq))
+            flows_per = np.bincount(inverse, minlength=len(uniq))
+            video_per = np.bincount(
+                inverse[cols.num_bytes >= CONTROL_FLOW_THRESHOLD_BYTES],
+                minlength=len(uniq),
+            )
+            for j in np.argsort(first_idx, kind="stable").tolist():
+                stats = self._stats(int(uniq[j]))
+                stats.num_bytes += int(bytes_per[j])
+                stats.num_flows += int(flows_per[j])
+                stats.video_flows += int(video_per[j])
+        else:
+            for record in window.records:
+                self.flows += 1
+                self.total_bytes += record.num_bytes
+                self._clients.add(record.src_ip)
+                stats = self._stats(record.dst_ip)
+                stats.num_bytes += record.num_bytes
+                stats.num_flows += 1
+                if record.num_bytes >= CONTROL_FLOW_THRESHOLD_BYTES:
+                    stats.video_flows += 1
+
+    def _stats(self, ip: int) -> _ServerStats:
+        stats = self._servers.get(ip)
+        if stats is None:
+            stats = self._servers[ip] = _ServerStats()
+        return stats
+
+    # -------------------------------------------------- batch-equivalent views
+
+    def server_ips(self) -> List[int]:
+        """Distinct server addresses, sorted (as ``Dataset.server_ips``)."""
+        return sorted(self._servers)
+
+    def summary(self, name: str) -> DatasetSummary:
+        """The Table I row (equal to ``summarize`` over the batch dataset)."""
+        return DatasetSummary(
+            name=name,
+            flows=self.flows,
+            volume_bytes=self.total_bytes,
+            num_servers=self.num_servers,
+            num_clients=self.num_clients,
+        )
+
+    def as_breakdown(
+        self, name: str, vantage_asn: int, registry: AsRegistry
+    ) -> asmap.AsBreakdown:
+        """The Table II row (equal to ``breakdown_by_as``).
+
+        Raises:
+            ValueError: With no flows (the batch path raises too).
+        """
+        if self.flows == 0:
+            raise ValueError(f"dataset {name} is empty")
+        server_groups = {
+            ip: asmap._group_of(asn, vantage_asn) if asn is not None else "others"
+            for ip, asn in ((ip, registry.asn_of(ip)) for ip in self.server_ips())
+        }
+        server_counts = {g: 0 for g in asmap.AS_GROUPS}
+        byte_counts = {g: 0 for g in asmap.AS_GROUPS}
+        for ip, group in server_groups.items():
+            server_counts[group] += 1
+            byte_counts[group] += self._servers[ip].num_bytes
+        num_servers = len(server_groups)
+        total_bytes = max(1, sum(byte_counts.values()))
+        return asmap.AsBreakdown(
+            name=name,
+            server_fractions={
+                g: server_counts[g] / num_servers for g in asmap.AS_GROUPS
+            },
+            byte_fractions={g: byte_counts[g] / total_bytes for g in asmap.AS_GROUPS},
+        )
+
+    def focus_ips(self, vantage_asn: int, registry: AsRegistry) -> List[int]:
+        """The Section IV focus list (equal to ``google_focus_ips``)."""
+        keep: List[int] = []
+        for ip in self.server_ips():
+            asn = registry.asn_of(ip)
+            if asn == GOOGLE_ASN or (asn is not None and asn == vantage_asn):
+                keep.append(ip)
+        return keep
+
+    def preferred_report(
+        self,
+        name: str,
+        server_map: ServerMap,
+        rtts_ms: Dict[int, float],
+        focus_ips: Sequence[int],
+        vantage_point: GeoPoint,
+    ) -> PreferredDcReport:
+        """The Section VI-B report (equal to ``analyze_preferred``).
+
+        Replays the per-server totals in first-occurrence order, which is
+        the batch path's view-creation order: byte-descending stable sort
+        and the majors/min-RTT rule then tie-break identically.
+
+        Raises:
+            ValueError: If no clustered traffic survives the filter.
+        """
+        keep = set(focus_ips)
+        views: Dict[str, DataCenterView] = {}
+        total_bytes = 0
+        for ip, stats in self._servers.items():
+            if ip not in keep:
+                continue
+            cluster = server_map.by_ip.get(ip)
+            if cluster is None:
+                continue
+            view = views.get(cluster.cluster_id)
+            if view is None:
+                view = DataCenterView(
+                    cluster=cluster,
+                    distance_km=haversine_km(vantage_point, cluster.estimate),
+                )
+                views[cluster.cluster_id] = view
+            view.num_bytes += stats.num_bytes
+            view.num_flows += stats.num_flows
+            total_bytes += stats.num_bytes
+            rtt = rtts_ms.get(ip)
+            if rtt is not None and rtt < view.min_rtt_ms:
+                view.min_rtt_ms = rtt
+        if not views:
+            raise ValueError(f"no clustered traffic in {name}")
+        ordered = sorted(views.values(), key=lambda v: -v.num_bytes)
+        return PreferredDcReport(
+            dataset_name=name,
+            views=ordered,
+            preferred_id=_pick_preferred(ordered, total_bytes),
+            total_bytes=total_bytes,
+        )
+
+    def nonpreferred_fraction(
+        self,
+        report: PreferredDcReport,
+        server_map: ServerMap,
+        focus_ips: Sequence[int],
+    ) -> float:
+        """The Figure 9/10 scalar (equal to ``nonpreferred_fraction``).
+
+        Raises:
+            ValueError: With no classifiable video flows.
+        """
+        keep = set(focus_ips)
+        preferred = 0
+        nonpreferred = 0
+        for ip, stats in self._servers.items():
+            if ip not in keep:
+                continue
+            cluster = server_map.by_ip.get(ip)
+            if cluster is None:
+                continue
+            if cluster.cluster_id == report.preferred_id:
+                preferred += stats.video_flows
+            else:
+                nonpreferred += stats.video_flows
+        total = preferred + nonpreferred
+        if total == 0:
+            raise ValueError("no classifiable video flows")
+        return nonpreferred / total
+
+
+class HourlyShareAccumulator:
+    """Per-hour, per-server video-flow counts (Figure 9's raw material)."""
+
+    def __init__(self):
+        self._counts: Dict[int, Dict[int, int]] = {}  # ip -> hour -> count
+
+    def observe_window(self, window: StreamWindow) -> None:
+        """Fold one sealed window in."""
+        if len(window) == 0:
+            return
+        if use_numpy():
+            import numpy as np
+
+            cols = window.table.columns()
+            video = cols.num_bytes >= CONTROL_FLOW_THRESHOLD_BYTES
+            key = cols.dst_ip[video] * _HOUR_STRIDE + cols.hour[video]
+            uniq, counts = np.unique(key, return_counts=True)
+            for composite, count in zip(uniq.tolist(), counts.tolist()):
+                ip, hour = divmod(composite, _HOUR_STRIDE)
+                hours = self._counts.setdefault(ip, {})
+                hours[hour] = hours.get(hour, 0) + count
+        else:
+            for record in window.records:
+                if record.num_bytes < CONTROL_FLOW_THRESHOLD_BYTES:
+                    continue
+                hours = self._counts.setdefault(record.dst_ip, {})
+                hours[record.hour] = hours.get(record.hour, 0) + 1
+
+    def fractions(
+        self,
+        report: PreferredDcReport,
+        server_map: ServerMap,
+        num_hours: int,
+        focus_ips: Optional[Iterable[int]] = None,
+        min_flows_per_hour: int = 5,
+    ) -> Dict[int, float]:
+        """Hourly non-preferred video-flow fractions (the Figure 9 input).
+
+        Equal to the ``hourly_fraction`` computation the batch Figure 9
+        path performs over the focus table.
+        """
+        keep = set(focus_ips) if focus_ips is not None else None
+        numerator = [0] * num_hours
+        denominator = [0] * num_hours
+        for ip, hours in self._counts.items():
+            if keep is not None and ip not in keep:
+                continue
+            cluster = server_map.by_ip.get(ip)
+            if cluster is None:
+                continue
+            nonpreferred = cluster.cluster_id != report.preferred_id
+            for hour, count in hours.items():
+                if hour >= num_hours:
+                    continue
+                denominator[hour] += count
+                if nonpreferred:
+                    numerator[hour] += count
+        return {
+            h: numerator[h] / denominator[h]
+            for h in range(num_hours)
+            if denominator[h] >= min_flows_per_hour
+        }
+
+
+class SessionStatsAccumulator:
+    """The Figure 5/6 histogram over incrementally closed sessions."""
+
+    def __init__(self):
+        self._counts = {label: 0 for label in HISTOGRAM_BUCKETS}
+        self.sessions = 0
+
+    def add(self, sessions: Iterable[Session]) -> None:
+        """Count a batch of closed sessions."""
+        for session in sessions:
+            n = session.num_flows
+            self._counts[str(n) if n <= 9 else ">9"] += 1
+            self.sessions += 1
+
+    def histogram(self) -> Dict[str, float]:
+        """Bucket fractions (equal to ``flows_per_session_histogram``).
+
+        Raises:
+            ValueError: With no sessions.
+        """
+        if self.sessions == 0:
+            raise ValueError("no sessions")
+        return {
+            label: self._counts[label] / self.sessions for label in HISTOGRAM_BUCKETS
+        }

@@ -1,0 +1,36 @@
+"""Incremental content digests over sealed windows.
+
+The batch :meth:`~repro.trace.records.Dataset.content_digest` hashes the
+canonical flow-log serialisation of the time-sorted record list.  Sealed
+windows arrive in index order with records in exactly that global order
+(see :mod:`repro.stream.windows`), so hashing them as they seal yields
+the identical hex digest without ever materialising the dataset — the
+``--digests`` byte-parity check costs one running sha256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.stream.events import StreamWindow
+from repro.trace.logio import format_record
+
+
+class StreamingDigest:
+    """A running sha256 over the canonical serialisation of sealed windows."""
+
+    def __init__(self):
+        self._digest = hashlib.sha256()
+        self.records = 0
+
+    def update_window(self, window: StreamWindow) -> None:
+        """Fold one sealed window into the digest."""
+        digest = self._digest
+        for record in window.records:
+            digest.update(format_record(record).encode("ascii"))
+            digest.update(b"\n")
+        self.records += len(window)
+
+    def hexdigest(self) -> str:
+        """The digest over everything sealed so far."""
+        return self._digest.hexdigest()

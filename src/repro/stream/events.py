@@ -1,0 +1,79 @@
+"""The streaming ingestion event vocabulary.
+
+Two wire events travel from a source to the windowing layer:
+
+* :class:`FlowArrival` — one observed flow record, tagged with a source
+  emission sequence number.  The sequence number is the streaming stand-in
+  for "position in the batch record list": window sorts use it to break
+  exact ``(t_start, t_end)`` ties the same way the batch path's stable
+  sort does, which keeps streamed output byte-identical even when a fault
+  plan delays records out of order.
+* :class:`WatermarkAdvance` — the source's promise that every later
+  arrival starts at or after ``t_s``.  Watermarks drive window sealing
+  and incremental session closing; a final infinite watermark ends the
+  stream.
+
+A sealed window is a :class:`StreamWindow`: a per-window
+:class:`~repro.trace.columnar.FlowTable` (records sorted by
+``(t_start, t_end, seq)``) plus its time bounds, so every existing numpy
+kernel runs unchanged on window batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.trace.columnar import FlowTable
+from repro.trace.records import FlowRecord
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One flow record arriving on the stream.
+
+    Attributes:
+        record: The observed flow.
+        seq: Source emission sequence number (0, 1, 2, ... in the order
+            the source classified the flows, before any disorder).
+    """
+
+    record: FlowRecord
+    seq: int
+
+
+@dataclass(frozen=True)
+class WatermarkAdvance:
+    """The source's low-watermark promise: no later arrival starts before ``t_s``."""
+
+    t_s: float
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """One sealed tumbling window ``[t_lo, t_hi)``.
+
+    Attributes:
+        index: Window index (``t_lo = index * window_s``).
+        t_lo: Inclusive window start.
+        t_hi: Exclusive window end.
+        table: Columnar view over the window's records, sorted by
+            ``(t_start, t_end, seq)`` — the batch dataset's order
+            restricted to this window.
+    """
+
+    index: int
+    t_lo: float
+    t_hi: float
+    table: FlowTable
+
+    @property
+    def records(self) -> List[FlowRecord]:
+        """The window's records (sorted; see :attr:`table`)."""
+        return self.table.records
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self.table)

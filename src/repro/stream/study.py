@@ -1,0 +1,470 @@
+"""The streamed study: the paper's headline analysis with bounded memory.
+
+:func:`stream_dataset` drives one world's live-emit event stream through
+the tumbling windower and every online accumulator; :class:`StreamStudy`
+then runs the *active* half of the methodology (RTT campaigns, CBG
+clustering) over the retained worlds and derives the same tables the
+batch :class:`~repro.core.pipeline.StudyPipeline` renders.
+
+Byte parity is the design contract: ``repro study --stream`` produces
+the identical report text and identical ``--digests`` lines as the batch
+path, at any window size, because
+
+* the simulator's event stream carries exactly the batch dataset's
+  records (same RNG consumption, see
+  :func:`repro.sim.engine.stream_requests`),
+* sealed windows concatenate to the batch record order (see
+  :mod:`repro.stream.windows`), and
+* every accumulator reproduces its batch aggregate exactly (see
+  :mod:`repro.stream.accumulators`).
+
+Memory stays bounded by distinct entities — servers, clients, open
+sessions, one window's records — never by the flow count.  (The request
+*schedule* is still materialised per world by the workload generator;
+flow records, the dominant term, are not.)
+"""
+
+from __future__ import annotations
+
+import io
+import resource
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro import obs
+from repro.core import asmap
+from repro.core.geography import ContinentRow, render_table3
+from repro.core.preferred import PreferredDcReport
+from repro.core.asmap import render_table2
+from repro.core.sessions import DEFAULT_GAP_S
+from repro.core.streaming import HotSpotDetector, LoadBalanceDetector
+from repro.core.summary import DatasetSummary, render_table1
+from repro.exec.executor import ParallelExecutor
+from repro.faults import report as degradation
+from repro.geo.landmarks import LandmarkSet, generate_landmarks
+from repro.geoloc.cbg import CbgGeolocator
+from repro.geoloc.clustering import ServerMap, cluster_servers
+from repro.geoloc.probing import CampaignJob, RttProber, run_campaigns
+from repro.net.latency import Site
+from repro.reporting.timing import phase_timer
+from repro.sim.driver import DEFAULT_SCALE
+from repro.sim.engine import DEFAULT_MISS_PROBABILITY
+from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, ScenarioWorld, build_world
+from repro.sim.seeding import derive_seed
+from repro.stream.accumulators import (
+    HourlyShareAccumulator,
+    SessionStatsAccumulator,
+    TrafficAccumulator,
+)
+from repro.stream.digest import StreamingDigest
+from repro.stream.events import WatermarkAdvance
+from repro.stream.source import simulated_stream
+from repro.stream.windows import TumblingWindower, WindowedSessionBuilder
+from repro.trace.records import WEEK_S
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size so far, in kilobytes."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass
+class StreamedDataset:
+    """One dataset's week, consumed as a stream.
+
+    Attributes:
+        name: Dataset name.
+        world: The physical world behind it (kept for the active
+            measurements, exactly as the batch ``SimulationResult`` keeps
+            its world).
+        traffic: Per-server traffic totals and their derivations.
+        hourly: Per-hour video-flow counts.
+        session_stats: Flows-per-session histogram state.
+        hot_spots: Online per-video spike detector.
+        load_balance: Online byte-concentration monitor.
+        digest: Running content digest over the sealed windows.
+        windows: Windows sealed.
+        late_records: Arrivals dropped for violating the watermark.
+        sessions_closed: Sessions closed incrementally.
+        peak_open_sessions: High-water mark of concurrently open sessions.
+        peak_window_records: Largest single sealed window.
+        rss_after_kb: Process peak RSS when this dataset finished — the
+            per-dataset points of the run's memory trajectory.
+    """
+
+    name: str
+    world: ScenarioWorld
+    traffic: TrafficAccumulator
+    hourly: HourlyShareAccumulator
+    session_stats: SessionStatsAccumulator
+    hot_spots: HotSpotDetector
+    load_balance: LoadBalanceDetector
+    digest: StreamingDigest
+    windows: int
+    late_records: int
+    sessions_closed: int
+    peak_open_sessions: int
+    peak_window_records: int
+    rss_after_kb: int
+
+
+def stream_dataset(
+    world: ScenarioWorld,
+    window_s: float = 3600.0,
+    gap_s: float = DEFAULT_GAP_S,
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
+) -> StreamedDataset:
+    """Run one world's week as a stream and fold it into accumulators.
+
+    Args:
+        world: A built scenario world.
+        window_s: Tumbling-window width in seconds.
+        gap_s: Session gap T for the incremental session builder.
+        miss_probability: Monitor classification-miss probability.
+
+    Returns:
+        The :class:`StreamedDataset` with every accumulator final.
+    """
+    name = world.spec.name
+    windower = TumblingWindower(window_s)
+    builder = WindowedSessionBuilder(gap_s)
+    traffic = TrafficAccumulator()
+    hourly = HourlyShareAccumulator()
+    session_stats = SessionStatsAccumulator()
+    hot_spots = HotSpotDetector()
+    balance = LoadBalanceDetector()
+    digest = StreamingDigest()
+    peak_open = 0
+    peak_window = 0
+    last_boundary = float("-inf")
+    with obs.span("stream/ingest", dataset=name, window_s=window_s):
+        for event in simulated_stream(world, miss_probability=miss_probability):
+            for window in windower.push(event):
+                digest.update_window(window)
+                traffic.observe_window(window)
+                hourly.observe_window(window)
+                hot_spots.observe_window(window)
+                balance.observe_window(window)
+                session_stats.add(builder.observe_window(window))
+                peak_window = max(peak_window, len(window))
+                obs.inc("stream.windows", dataset=name)
+                obs.observe("stream.window_records", len(window), dataset=name)
+            boundary = windower.sealed_boundary_s
+            if boundary > last_boundary:
+                # The boundary moves once per window period, so session
+                # sweeps are per-window, not per-event.
+                last_boundary = boundary
+                peak_open = max(peak_open, builder.open_sessions)
+                session_stats.add(builder.advance(boundary))
+                obs.set_gauge("stream.open_sessions", builder.open_sessions, dataset=name)
+        for window in windower.finish():
+            # Defensive: a well-formed source ends with an infinite
+            # watermark, which already sealed everything above.
+            digest.update_window(window)
+            traffic.observe_window(window)
+            hourly.observe_window(window)
+            hot_spots.observe_window(window)
+            balance.observe_window(window)
+            session_stats.add(builder.observe_window(window))
+        session_stats.add(builder.finish())
+        obs.set_gauge("stream.peak_rss", peak_rss_kb())
+    if windower.late_records:
+        degradation.record("stream/windower", degraded=1, late=windower.late_records)
+    return StreamedDataset(
+        name=name,
+        world=world,
+        traffic=traffic,
+        hourly=hourly,
+        session_stats=session_stats,
+        hot_spots=hot_spots,
+        load_balance=balance,
+        digest=digest,
+        windows=windower.windows_sealed,
+        late_records=windower.late_records,
+        sessions_closed=builder.sessions_closed,
+        peak_open_sessions=peak_open,
+        peak_window_records=peak_window,
+        rss_after_kb=peak_rss_kb(),
+    )
+
+
+class StreamStudy:
+    """The study's tables, derived from streamed datasets.
+
+    The measurement half — RTT campaigns, CBG landmarks, clustering — is
+    the same *active* methodology the batch
+    :class:`~repro.core.pipeline.StudyPipeline` runs, with the same
+    derived seeds, span names and degradation stages; only the passive
+    trace aggregates come from accumulators instead of materialised
+    datasets.
+
+    Args:
+        streamed: Mapping dataset name → streamed dataset, in
+            presentation order.
+        landmark_count: CBG landmark budget (``None`` = full set).
+        probes_per_measurement: Pings per RTT measurement.
+        seed: Measurement-noise seed (the batch pipeline's default 11).
+        executor: Fan-out strategy for the RTT campaigns.
+    """
+
+    def __init__(
+        self,
+        streamed: Mapping[str, StreamedDataset],
+        landmark_count: Optional[int] = None,
+        probes_per_measurement: int = 6,
+        seed: int = 11,
+        executor: Optional[ParallelExecutor] = None,
+    ):
+        if not streamed:
+            raise ValueError("study needs at least one dataset")
+        self._streamed = dict(streamed)
+        self._landmark_count = landmark_count
+        self._probes = probes_per_measurement
+        self._seed = seed
+        self._executor = executor
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def dataset_names(self) -> List[str]:
+        """Dataset names in insertion order."""
+        return list(self._streamed)
+
+    def streamed(self, name: str) -> StreamedDataset:
+        """One streamed dataset."""
+        return self._streamed[name]
+
+    @cached_property
+    def _site_of_ip(self) -> Callable[[int], Optional[Site]]:
+        worlds = [s.world for s in self._streamed.values()]
+
+        def site_of_ip(ip: int) -> Optional[Site]:
+            for world in worlds:
+                site = world.site_of_server_ip(ip)
+                if site is not None:
+                    return site
+            return None
+
+        return site_of_ip
+
+    @cached_property
+    def _latency(self):
+        return next(iter(self._streamed.values())).world.latency
+
+    def _prober(self, label: str) -> RttProber:
+        return RttProber(
+            self._latency,
+            probes=self._probes,
+            seed=derive_seed(self._seed, "prober", label),
+        )
+
+    # --------------------------------------------------------- T1, T2, focus
+
+    @cached_property
+    def summaries(self) -> Dict[str, DatasetSummary]:
+        """Table I rows."""
+        return {
+            name: s.traffic.summary(name) for name, s in self._streamed.items()
+        }
+
+    @cached_property
+    def as_breakdowns(self) -> Dict[str, asmap.AsBreakdown]:
+        """Table II rows."""
+        return {
+            name: s.traffic.as_breakdown(
+                name, s.world.vantage.asn, s.world.registry
+            )
+            for name, s in self._streamed.items()
+        }
+
+    @cached_property
+    def focus_ips(self) -> Dict[str, List[int]]:
+        """Per-dataset Google-focus server lists (Section IV)."""
+        return {
+            name: s.traffic.focus_ips(s.world.vantage.asn, s.world.registry)
+            for name, s in self._streamed.items()
+        }
+
+    # ------------------------------------------------------------------- F2
+
+    @cached_property
+    def rtt_campaigns(self) -> Dict[str, Dict[int, float]]:
+        """Figure 2 campaigns, identical to the batch pipeline's."""
+        site_of_ip = self._site_of_ip
+        jobs: List[CampaignJob] = []
+        for name, s in self._streamed.items():
+            targets: Dict[object, Site] = {}
+            for ip in s.traffic.server_ips():
+                site = site_of_ip(ip)
+                if site is not None:
+                    targets[ip] = site
+            jobs.append(
+                CampaignJob(
+                    label=f"campaign/{name}",
+                    latency=self._latency,
+                    origin=s.world.vantage.probe_site,
+                    targets=targets,
+                    probes=self._probes,
+                    seed=derive_seed(self._seed, "prober", f"campaign/{name}"),
+                )
+            )
+        with obs.span("pipeline/rtt_campaigns", campaigns=len(jobs)):
+            measured = run_campaigns(jobs, executor=self._executor)
+        degradation.stage_completed("pipeline/rtt_campaigns")
+        return dict(zip(self._streamed, measured))
+
+    # ------------------------------------------------------- CBG (F3, T3)
+
+    @cached_property
+    def landmarks(self) -> LandmarkSet:
+        """The CBG landmark population."""
+        full = generate_landmarks(seed=derive_seed(self._seed, "landmarks"))
+        if self._landmark_count is not None and self._landmark_count < len(full):
+            return full.subsample(self._landmark_count, seed=self._seed)
+        return full
+
+    @cached_property
+    def geolocator(self) -> CbgGeolocator:
+        """The calibrated CBG instance."""
+        return CbgGeolocator(self.landmarks, self._prober("cbg"))
+
+    @cached_property
+    def server_map(self) -> ServerMap:
+        """CBG clustering over the union of all datasets' focus servers."""
+        union: List[int] = sorted(
+            {ip for ips in self.focus_ips.values() for ip in ips}
+        )
+        site_of_ip = self._site_of_ip
+
+        def geolocate(ip: int):
+            site = site_of_ip(ip)
+            if site is None:
+                raise LookupError(f"cannot reach server {ip} for probing")
+            return self.geolocator.geolocate_target(site)
+
+        with obs.span("pipeline/server_map", servers=len(union)):
+            server_map = cluster_servers(union, geolocate)
+        degradation.stage_completed("pipeline/server_map")
+        return server_map
+
+    @cached_property
+    def table3_rows(self) -> List[ContinentRow]:
+        """Table III rows."""
+        return [
+            ContinentRow(
+                name=name,
+                counts=self.server_map.continent_counts(self.focus_ips[name]),
+            )
+            for name in self._streamed
+        ]
+
+    # ------------------------------------------------------- F7-F10
+
+    @cached_property
+    def preferred_reports(self) -> Dict[str, PreferredDcReport]:
+        """Per-dataset preferred-data-center reports."""
+        with phase_timer("analysis/preferred"):
+            reports: Dict[str, PreferredDcReport] = {}
+            for name, s in self._streamed.items():
+                reports[name] = s.traffic.preferred_report(
+                    name,
+                    self.server_map,
+                    self.rtt_campaigns[name],
+                    self.focus_ips[name],
+                    s.world.vantage.city.point,
+                )
+        degradation.stage_completed("pipeline/preferred")
+        return reports
+
+    def nonpreferred_fraction(self, name: str) -> float:
+        """Overall non-preferred video-flow share for one dataset."""
+        return self._streamed[name].traffic.nonpreferred_fraction(
+            self.preferred_reports[name], self.server_map, self.focus_ips[name]
+        )
+
+    def hourly_nonpreferred(self, name: str) -> Dict[int, float]:
+        """Figure 9's hourly non-preferred fractions for one dataset."""
+        s = self._streamed[name]
+        return s.hourly.fractions(
+            self.preferred_reports[name],
+            self.server_map,
+            num_hours=int(s.world.duration_s // 3600),
+            focus_ips=self.focus_ips[name],
+        )
+
+    def session_histogram(self, name: str) -> Dict[str, float]:
+        """One Figure 6 bar group, from the incremental builder."""
+        return self._streamed[name].session_stats.histogram()
+
+    # ---------------------------------------------------------------- stats
+
+    def digests(self) -> Dict[str, str]:
+        """Per-dataset streaming content digests."""
+        return {name: s.digest.hexdigest() for name, s in self._streamed.items()}
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Machine-readable per-dataset streaming statistics."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, s in self._streamed.items():
+            out[name] = {
+                "flows": s.traffic.flows,
+                "windows": s.windows,
+                "late_records": s.late_records,
+                "sessions_closed": s.sessions_closed,
+                "peak_open_sessions": s.peak_open_sessions,
+                "peak_window_records": s.peak_window_records,
+                "hot_spot_events": len(s.hot_spots.events),
+                "load_spread_fraction": s.load_balance.spread_fraction,
+                "rss_after_kb": s.rss_after_kb,
+            }
+        return out
+
+
+def run_streaming_study(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    window_s: float = 3600.0,
+    duration_s: float = WEEK_S,
+    landmark_count: Optional[int] = None,
+    gap_s: float = DEFAULT_GAP_S,
+    executor: Optional[ParallelExecutor] = None,
+) -> StreamStudy:
+    """Stream every dataset of the study and wire up the analysis.
+
+    The worlds are built with the same parameters the batch
+    :func:`repro.sim.driver.run_all` uses, so the streamed records are
+    the batch datasets' records.
+    """
+    streamed: Dict[str, StreamedDataset] = {}
+    for name in DATASET_NAMES:
+        world = build_world(
+            PAPER_SCENARIOS[name], scale=scale, seed=seed, duration_s=duration_s
+        )
+        streamed[name] = stream_dataset(world, window_s=window_s, gap_s=gap_s)
+    return StreamStudy(streamed, landmark_count=landmark_count, executor=executor)
+
+
+def render_stream_report(study: StreamStudy) -> str:
+    """Render the study summary — byte-identical to the batch report.
+
+    The text reproduces ``repro study``'s default (non ``--full``) output
+    exactly; the parity tests and the ``stream-smoke`` CI job diff the
+    two byte for byte.
+    """
+    buffer = io.StringIO()
+    print(render_table1(study.summaries.values()), file=buffer)
+    print("", file=buffer)
+    print(render_table2(study.as_breakdowns.values()), file=buffer)
+    print("", file=buffer)
+    print(render_table3(study.table3_rows), file=buffer)
+    print("", file=buffer)
+    for name in study.dataset_names:
+        report = study.preferred_reports[name]
+        print(
+            f"{name:12s} preferred={report.preferred_id:24s} "
+            f"share={report.byte_share(report.preferred_id):6.1%} "
+            f"non-preferred flows={study.nonpreferred_fraction(name):6.1%}",
+            file=buffer,
+        )
+    return buffer.getvalue()

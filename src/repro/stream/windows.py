@@ -1,0 +1,220 @@
+"""Tumbling windows and incremental session building.
+
+:class:`TumblingWindower` partitions arrivals into aligned windows
+``[k*w, (k+1)*w)`` keyed by ``t_start`` and seals a window once the
+watermark passes its end — at which point no in-watermark arrival can
+still belong to it.  Sealed windows come out in index order with records
+sorted by ``(t_start, t_end, seq)``, so the concatenation of all sealed
+windows is exactly the batch dataset's record order: windows partition
+the ``t_start`` axis in order, and within a window the sort reproduces
+the global stable ``(t_start, t_end)`` sort (``seq`` carries the batch
+tie-break).  That identity is what makes every downstream digest and
+table byte-identical to the batch path.
+
+:class:`WindowedSessionBuilder` is the incremental form of
+:func:`repro.core.sessions.build_sessions`: it consumes sealed windows
+(global record order, so each (client, video) group arrives in the exact
+order the batch spec visits it), applies the same
+``t_start - horizon < gap`` break rule, and closes a session once the
+sealed boundary passes ``horizon + gap`` — every flow that could still
+join would start before the boundary, and all such flows have already
+arrived.  Open state is dropped as sessions close, so memory follows the
+number of *concurrently active* (client, video) pairs, not the flow
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.sessions import Session
+from repro.stream.events import FlowArrival, StreamWindow, WatermarkAdvance
+from repro.trace.columnar import FlowTable
+from repro.trace.records import FlowRecord
+
+
+class TumblingWindower:
+    """Seals a watermarked event stream into :class:`StreamWindow` batches.
+
+    Args:
+        window_s: Window width in seconds.
+
+    Attributes:
+        late_records: Arrivals dropped because their window was already
+            sealed (a source violated its watermark promise).  The driver
+            reports them as degradation.
+        windows_sealed: Windows emitted so far.
+    """
+
+    def __init__(self, window_s: float):
+        if not window_s > 0:
+            raise ValueError("window_s must be positive")
+        self._window_s = window_s
+        self._pending: Dict[int, List[Tuple[FlowRecord, int]]] = {}
+        self._watermark = -math.inf
+        self._sealed_until: Optional[int] = None  # indices below this are sealed
+        self._all_sealed = False
+        self.late_records = 0
+        self.windows_sealed = 0
+
+    @property
+    def window_s(self) -> float:
+        """The window width."""
+        return self._window_s
+
+    @property
+    def watermark(self) -> float:
+        """The highest watermark seen."""
+        return self._watermark
+
+    @property
+    def sealed_boundary_s(self) -> float:
+        """Every flow starting before this instant has been sealed or dropped.
+
+        The safe horizon for incremental consumers: session closing uses
+        this, not the raw watermark, because flows between the boundary
+        and the watermark may still sit in an unsealed window.
+        """
+        if self._all_sealed:
+            return math.inf
+        if self._sealed_until is None:
+            return -math.inf
+        return self._sealed_until * self._window_s
+
+    @property
+    def open_windows(self) -> int:
+        """Unsealed windows currently holding records."""
+        return len(self._pending)
+
+    def push(self, event: Union[FlowArrival, WatermarkAdvance]) -> List[StreamWindow]:
+        """Feed one event; return any windows it sealed (possibly none)."""
+        if isinstance(event, FlowArrival):
+            index = int(event.record.t_start // self._window_s)
+            if self._all_sealed or (
+                self._sealed_until is not None and index < self._sealed_until
+            ):
+                self.late_records += 1
+                return []
+            self._pending.setdefault(index, []).append((event.record, event.seq))
+            return []
+        return self.advance(event.t_s)
+
+    def advance(self, t_s: float) -> List[StreamWindow]:
+        """Advance the watermark; seal and return every window it passes.
+
+        Raises:
+            ValueError: If the watermark regresses.
+        """
+        if t_s < self._watermark:
+            raise ValueError(f"watermark regressed: {t_s!r} < {self._watermark!r}")
+        self._watermark = t_s
+        sealed: List[StreamWindow] = []
+        for index in sorted(self._pending):
+            if not (math.isinf(t_s) or (index + 1) * self._window_s <= t_s):
+                break
+            sealed.append(self._seal(index))
+        if math.isinf(t_s):
+            self._all_sealed = True
+        else:
+            boundary = int(t_s // self._window_s)
+            if self._sealed_until is None or boundary > self._sealed_until:
+                self._sealed_until = boundary
+        return sealed
+
+    def finish(self) -> List[StreamWindow]:
+        """Seal everything still pending (equivalent to an infinite watermark)."""
+        return self.advance(math.inf)
+
+    def _seal(self, index: int) -> StreamWindow:
+        tagged = self._pending.pop(index)
+        tagged.sort(key=lambda pair: (pair[0].t_start, pair[0].t_end, pair[1]))
+        self.windows_sealed += 1
+        return StreamWindow(
+            index=index,
+            t_lo=index * self._window_s,
+            t_hi=(index + 1) * self._window_s,
+            table=FlowTable([record for record, _ in tagged]),
+        )
+
+
+@dataclass
+class _OpenSession:
+    """One still-growing (client, video) session."""
+
+    flows: List[FlowRecord] = field(default_factory=list)
+    horizon: float = -math.inf  # running max of member t_end
+
+
+class WindowedSessionBuilder:
+    """Incremental gap-T session construction over sealed windows.
+
+    Produces exactly the sessions of
+    :func:`repro.core.sessions.build_sessions` over the concatenated
+    window records (same membership, same per-session flow order);
+    emission order follows session *closing* time rather than the batch's
+    (client, video) group order.
+
+    Args:
+        gap_s: The session gap T.
+
+    Attributes:
+        sessions_closed: Sessions emitted so far.
+    """
+
+    def __init__(self, gap_s: float):
+        if gap_s <= 0:
+            raise ValueError("gap_s must be positive")
+        self._gap_s = gap_s
+        self._open: Dict[Tuple[int, str], _OpenSession] = {}
+        self.sessions_closed = 0
+
+    @property
+    def open_sessions(self) -> int:
+        """Sessions still accepting flows."""
+        return len(self._open)
+
+    def observe_window(self, window: StreamWindow) -> List[Session]:
+        """Feed one sealed window; return sessions its flows broke closed."""
+        closed: List[Session] = []
+        for record in window.records:
+            key = (record.src_ip, record.video_id)
+            state = self._open.get(key)
+            if state is None:
+                self._open[key] = _OpenSession([record], record.t_end)
+            elif record.t_start - state.horizon < self._gap_s:
+                state.flows.append(record)
+                if record.t_end > state.horizon:
+                    state.horizon = record.t_end
+            else:
+                # The batch spec carries the group horizon across session
+                # breaks, but a break implies t_end >= t_start >= horizon
+                # + gap > horizon, so the new flow's t_end IS the carried
+                # max — restarting the state loses nothing.
+                closed.append(Session(client_ip=key[0], video_id=key[1], flows=state.flows))
+                self._open[key] = _OpenSession([record], record.t_end)
+        self.sessions_closed += len(closed)
+        return closed
+
+    def advance(self, sealed_boundary_s: float) -> List[Session]:
+        """Close every session no sealed-or-future flow can join.
+
+        Args:
+            sealed_boundary_s: The windower's
+                :attr:`~TumblingWindower.sealed_boundary_s` — every flow
+                starting before it has already been fed.  A session whose
+                ``horizon + gap`` lies at or below the boundary is final:
+                any joining flow would start before ``horizon + gap``.
+        """
+        closed: List[Session] = []
+        for key, state in list(self._open.items()):
+            if state.horizon + self._gap_s <= sealed_boundary_s:
+                closed.append(Session(client_ip=key[0], video_id=key[1], flows=state.flows))
+                del self._open[key]
+        self.sessions_closed += len(closed)
+        return closed
+
+    def finish(self) -> List[Session]:
+        """Close everything still open (end of stream)."""
+        return self.advance(math.inf)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.faults import report as degradation
 from repro.faults.plan import FaultPlan, active_plan
@@ -77,10 +77,15 @@ def write_flow_log(records: Iterable[FlowRecord], path: Union[str, Path]) -> int
     return count
 
 
-def _ingest(
+def _ingest_iter(
     lines: Iterable[str], source: str, on_error: str
-) -> List[FlowRecord]:
-    """Parse data lines, applying fault injection and error policy.
+) -> Iterator[FlowRecord]:
+    """Parse data lines one at a time, applying injection and error policy.
+
+    The generator behind both the materialising readers and the streaming
+    :func:`iter_flow_log`: records are yielded as parsed, so a consumer
+    holding one at a time runs in constant memory.  Skipped-line
+    degradation is recorded when the generator is exhausted (or closed).
 
     Args:
         lines: Raw log lines (comments/blanks included).
@@ -96,28 +101,34 @@ def _ingest(
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     plan: Optional[FaultPlan] = active_plan()
-    records: List[FlowRecord] = []
     skipped = 0
-    for index, line in enumerate(lines):
-        if not line.strip() or line.startswith("#"):
-            continue
-        injected = plan is not None and plan.decide(
-            plan.line_garble, "logio/garble", source, str(index)
-        )
-        if injected:
-            line = line.rstrip("\n")[: max(0, len(line) // 2)]
-        try:
-            records.append(parse_record(line))
-        except ValueError:
-            if injected or on_error == "skip":
-                skipped += 1
+    try:
+        for index, line in enumerate(lines):
+            if not line.strip() or line.startswith("#"):
                 continue
-            raise
-    if skipped:
-        degradation.record(
-            "trace/logio", degraded=1, skipped=skipped
-        )
-    return records
+            injected = plan is not None and plan.decide(
+                plan.line_garble, "logio/garble", source, str(index)
+            )
+            if injected:
+                line = line.rstrip("\n")[: max(0, len(line) // 2)]
+            try:
+                record = parse_record(line)
+            except ValueError:
+                if injected or on_error == "skip":
+                    skipped += 1
+                    continue
+                raise
+            yield record
+    finally:
+        if skipped:
+            degradation.record("trace/logio", degraded=1, skipped=skipped)
+
+
+def _ingest(
+    lines: Iterable[str], source: str, on_error: str
+) -> List[FlowRecord]:
+    """Materialised form of :func:`_ingest_iter` (see there)."""
+    return list(_ingest_iter(lines, source, on_error))
 
 
 def read_flow_log(
@@ -133,6 +144,24 @@ def read_flow_log(
     """
     with open(path, "r", encoding="ascii") as handle:
         return _ingest(handle, Path(path).name, on_error)
+
+
+def iter_flow_log(
+    path: Union[str, Path], on_error: str = "raise"
+) -> Iterator[FlowRecord]:
+    """Stream a flow-log file record by record (constant memory).
+
+    The streaming ingestion path's file source: parses the same lines,
+    applies the same ``line_garble`` injection under the same labels, and
+    records the same degradation as :func:`read_flow_log` — it just never
+    holds more than one record.
+
+    Args:
+        path: The log file.
+        on_error: ``"raise"`` or ``"skip"`` (see :func:`read_flow_log`).
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        yield from _ingest_iter(handle, Path(path).name, on_error)
 
 
 def dumps(records: Iterable[FlowRecord]) -> str:

@@ -11,7 +11,7 @@ of a session.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.cdn.cluster import FlowEvent
 from repro.net.topology import VantagePoint
@@ -25,15 +25,29 @@ class EdgeMonitor:
         vantage: The monitored network.
         miss_probability: Chance an individual flow escapes classification.
         seed: RNG seed for the miss process.
+        sink: Live-emit mode — classified records are handed to this
+            callable instead of being retained, so a streaming consumer
+            sees them with bounded memory.  The miss RNG is consumed
+            identically either way, which is what keeps a streamed run
+            byte-identical to a batch run of the same world.  A sinked
+            monitor cannot :meth:`finish`.
     """
 
-    def __init__(self, vantage: VantagePoint, miss_probability: float = 0.002, seed: int = 0):
+    def __init__(
+        self,
+        vantage: VantagePoint,
+        miss_probability: float = 0.002,
+        seed: int = 0,
+        sink: Optional[Callable[[FlowRecord], None]] = None,
+    ):
         if not 0.0 <= miss_probability < 1.0:
             raise ValueError("miss_probability must be in [0, 1)")
         self._vantage = vantage
         self._miss_probability = miss_probability
         self._rng = random.Random(seed)
         self._records: List[FlowRecord] = []
+        self._sink = sink
+        self._recorded = 0
         self.observed = 0
         self.missed = 0
 
@@ -52,7 +66,11 @@ class EdgeMonitor:
             video_id=event.video_id,
             resolution=event.resolution,
         )
-        self._records.append(record)
+        self._recorded += 1
+        if self._sink is not None:
+            self._sink(record)
+        else:
+            self._records.append(record)
         return record
 
     def observe_all(self, events: Iterable[FlowEvent]) -> None:
@@ -61,7 +79,14 @@ class EdgeMonitor:
             self.observe(event)
 
     def finish(self, name: str, duration_s: float) -> Dataset:
-        """Close collection and return the dataset (records time-sorted)."""
+        """Close collection and return the dataset (records time-sorted).
+
+        Raises:
+            RuntimeError: For a sinked (live-emit) monitor, which retains
+                no records to assemble a dataset from.
+        """
+        if self._sink is not None:
+            raise RuntimeError("a sinked monitor retains no records; consume its stream instead")
         self._records.sort(key=lambda r: (r.t_start, r.t_end))
         return Dataset(
             name=name,
@@ -72,5 +97,5 @@ class EdgeMonitor:
 
     @property
     def record_count(self) -> int:
-        """Records collected so far."""
-        return len(self._records)
+        """Records collected (or emitted to the sink) so far."""
+        return self._recorded

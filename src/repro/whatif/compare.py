@@ -92,8 +92,7 @@ def compare_variants(
         ordered.insert(0, baseline_variant())
 
     tasks = [
-        (variant.apply(spec), scale, seed, duration_s, variant.policy_kind,
-         variant.name)
+        (variant.apply(spec), scale, seed, duration_s, variant.policy_kind, variant.name)
         for variant in ordered
     ]
     rows = resolve_metric_rows(

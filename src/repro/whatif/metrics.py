@@ -125,8 +125,7 @@ def scenario_metrics(
     """
     from repro.sim.driver import run_spec
 
-    run = run_spec(spec, scale=scale, seed=seed, duration_s=duration_s,
-                   policy_kind=policy_kind)
+    run = run_spec(spec, scale=scale, seed=seed, duration_s=duration_s, policy_kind=policy_kind)
     return extract_metrics(run, label=label)
 
 

@@ -116,8 +116,9 @@ def sweep_parameter(
     tasks = []
     for value in values:
         point_spec = dataclasses.replace(spec, **{parameter: value})
-        tasks.append((point_spec, scale, seed, duration_s, policy_kind,
-                      f"{parameter}={value}"))
+        tasks.append(
+            (point_spec, scale, seed, duration_s, policy_kind, f"{parameter}={value}")
+        )
     rows = resolve_metric_rows(
         tasks, [f"{scenario_name}/{task[-1]}" for task in tasks], executor
     )

@@ -135,5 +135,6 @@ def variant_by_name(name: str) -> Variant:
     for variant in standard_variants():
         if variant.name == name:
             return variant
-    raise KeyError(f"unknown variant {name!r}; known: "
-                   f"{[v.name for v in standard_variants()]}")
+    raise KeyError(
+        f"unknown variant {name!r}; known: {[v.name for v in standard_variants()]}"
+    )

@@ -147,7 +147,7 @@ def _poisson(rate: float, rng: random.Random) -> int:
         return 0
     if rate > 50.0:
         # Normal approximation is plenty for hourly arrival counts.
-        return max(0, round(rng.gauss(rate, rate ** 0.5)))
+        return max(0, round(rng.gauss(rate, rate**0.5)))
     threshold = math.exp(-rate)
     k = 0
     product = rng.random()

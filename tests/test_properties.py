@@ -197,3 +197,81 @@ class TestKernelParity:
         finally:
             monkeypatch.undo()
         assert py == np_
+
+
+class TestWindowedSessions:
+    """Streamed session building equals the batch spec, for any window.
+
+    Feeds the same random flow lists through the tumbling windower and
+    the incremental builder — including out-of-order delivery *within*
+    the watermark — and demands the exact batch result: same window
+    record order, same session multiset.
+    """
+
+    window_sizes = st.sampled_from([0.5, 1.0, 3.25, 10.0, 1000.0])
+    chunk_sizes = st.integers(min_value=1, max_value=7)
+
+    @staticmethod
+    def _stream(records, window_s, gap_s, chunk):
+        """Replay ``records`` with within-watermark disorder.
+
+        ``seq`` is each record's original list position (the batch
+        stable-sort tie-break); emission goes in ``chunk``-sized batches
+        of the time-sorted order, each batch watermarked at its earliest
+        start and delivered in reverse.
+        """
+        from repro.stream.events import FlowArrival, WatermarkAdvance
+        from repro.stream.windows import TumblingWindower, WindowedSessionBuilder
+
+        order = sorted(range(len(records)), key=lambda i: records[i].t_start)
+        windower = TumblingWindower(window_s)
+        builder = WindowedSessionBuilder(gap_s)
+        sessions, windowed = [], []
+        last_boundary = float("-inf")
+
+        def feed(event):
+            nonlocal last_boundary
+            for window in windower.push(event):
+                windowed.extend(window.records)
+                sessions.extend(builder.observe_window(window))
+            if windower.sealed_boundary_s > last_boundary:
+                last_boundary = windower.sealed_boundary_s
+                sessions.extend(builder.advance(last_boundary))
+
+        for pos in range(0, len(order), chunk):
+            batch = order[pos:pos + chunk]
+            feed(WatermarkAdvance(t_s=records[batch[0]].t_start))
+            for index in reversed(batch):
+                feed(FlowArrival(record=records[index], seq=index))
+        feed(WatermarkAdvance(t_s=float("inf")))
+        for window in windower.finish():
+            windowed.extend(window.records)
+            sessions.extend(builder.observe_window(window))
+        sessions.extend(builder.finish())
+        assert windower.late_records == 0
+        return sessions, windowed
+
+    @staticmethod
+    def _canon(sessions):
+        return Counter(
+            (s.client_ip, s.video_id, tuple(s.flows)) for s in sessions
+        )
+
+    @given(records=flow_records(), gap_s=gaps,
+           window_s=window_sizes, chunk=chunk_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_streamed_sessions_equal_batch(self, records, gap_s,
+                                           window_s, chunk):
+        streamed, _ = self._stream(records, window_s, gap_s, chunk)
+        assert self._canon(streamed) == self._canon(
+            build_sessions(records, gap_s=gap_s)
+        )
+
+    @given(records=flow_records(), window_s=window_sizes, chunk=chunk_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_sealed_windows_reconstruct_batch_order(self, records,
+                                                    window_s, chunk):
+        _, windowed = self._stream(records, window_s, 1.0, chunk)
+        assert windowed == sorted(
+            records, key=lambda r: (r.t_start, r.t_end)
+        )
