@@ -12,6 +12,25 @@ dataclasses, and objects exposing ``cache_fingerprint()``).  Anything else
 raises :class:`CanonicalizationError` — an unhashable input must never be
 silently folded into a key, because two different worlds would then share
 one artifact.
+
+**The fingerprint rule for worlds.**  A
+:class:`~repro.sim.scenarios.ScenarioWorld` participates in caching iff
+``policy_kind`` is set: ``build_config()`` then returns the canonical
+build inputs ``(spec, scale, seed, duration_s, policy_kind)`` that key
+its stages.  ``policy_kind=None`` is the opt-out for worlds that are
+*not* a pure function of those inputs — shared-world facades (their
+results depend on every co-resident vantage point) and hand-assembled
+test worlds.  The opt-out is reserved for exactly those construction
+paths: worlds built by the spec layer
+(:func:`repro.spec.model.apply_spec`, grid points, registry scenarios)
+always come out of :func:`~repro.sim.scenarios.build_world` with a
+policy kind and therefore always carry a full fingerprint — a
+declaratively-described world can never silently fall out of the cache.
+Declarative values (:class:`~repro.spec.info.ScenarioInfo`,
+:class:`~repro.spec.model.Spec`, grid specs/points) plug into keys via
+their ``cache_fingerprint()`` hooks, so equal descriptions — however
+assembled, whatever order their deltas were written in — produce equal
+keys.
 """
 
 from __future__ import annotations

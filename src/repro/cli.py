@@ -7,12 +7,15 @@ Five subcommands cover the library's workflows::
     python -m repro sessions  --flows flows.tsv --gaps 1,5,10,60,300
     python -m repro coldvideo --nodes 45 --samples 25
     python -m repro whatif    --dataset EU1-ADSL --variants old-policy,flash-crowd
+    python -m repro grid      run --base EU1-FTTH --axis policy=preferred,geographic
     python -m repro cache     stats
 
 ``simulate`` writes a Tstat-style flow log; ``sessions`` re-analyses any
 such log (including ones you edit or generate elsewhere); the rest run the
-paper's composite experiments end to end.  ``cache`` inspects and manages
-the stage-artifact store that makes warm re-runs of the above incremental.
+paper's composite experiments end to end.  ``grid`` enumerates declarative
+scenario-spec grids (axes × values over a registry base) and runs them
+with per-point cache reuse; ``cache`` inspects and manages the
+stage-artifact store that makes warm re-runs of the above incremental.
 """
 
 from __future__ import annotations
@@ -211,6 +214,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_sweep)
 
+    p_grid = sub.add_parser(
+        "grid", help="enumerate, run and diff scenario-spec grids"
+    )
+    grid_sub = p_grid.add_subparsers(dest="grid_command", required=True)
+
+    def _add_grid_shape(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--base", default="EU1-FTTH",
+            help="registry scenario the grid perturbs (default EU1-FTTH)",
+        )
+        p.add_argument(
+            "--axis", action="append", default=[], metavar="NAME=V1,V2",
+            help="one grid axis: a ScenarioSpec field, 'policy', "
+            "'variant', or 'dataset', with comma-separated values "
+            "(repeatable; the product of all axes is the grid)",
+        )
+        p.add_argument(
+            "--filter", action="append", default=[], metavar="A=X,B=Y",
+            dest="filters",
+            help="drop grid points matching every clause (repeatable)",
+        )
+        p.add_argument(
+            "--grid", default=None, metavar="PATH",
+            help="load the grid from a JSON file written by "
+            "'grid plan --out' instead of --base/--axis/--filter",
+        )
+
+    p_grid_plan = grid_sub.add_parser(
+        "plan", help="enumerate the grid and show per-point cache status"
+    )
+    _add_grid_shape(p_grid_plan)
+    p_grid_plan.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the grid as a JSON document (diffable, "
+        "re-runnable with --grid)",
+    )
+    p_grid_plan.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable plan",
+    )
+    _add_common(p_grid_plan)
+
+    p_grid_run = grid_sub.add_parser(
+        "run", help="simulate every grid point (warm points load from cache)"
+    )
+    _add_grid_shape(p_grid_run)
+    p_grid_run.add_argument(
+        "--metrics", default="preferred_share,miss_rate,overload_rate",
+        help="comma-separated ScenarioMetrics attributes to print",
+    )
+    _add_common(p_grid_run)
+
+    p_grid_diff = grid_sub.add_parser(
+        "diff", help="point-level difference between two grid documents"
+    )
+    p_grid_diff.add_argument("grid_a", help="baseline grid JSON path")
+    p_grid_diff.add_argument("grid_b", help="comparison grid JSON path")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or manage the stage-artifact cache"
     )
@@ -363,10 +424,24 @@ def cmd_study(args: argparse.Namespace, out) -> int:
     from repro.artifacts.keys import stage_key
     from repro.artifacts.store import default_store
 
-    if args.stream and (args.shared or args.full or args.validate):
+    unsupported = [
+        flag
+        for flag, active in (
+            ("--shared", args.shared), ("--full", args.full),
+            ("--validate", args.validate),
+        )
+        if args.stream and active
+    ]
+    if unsupported:
+        # Fail fast and name the way out: the streamed path renders the
+        # summary report only (ROADMAP item 1 follow-up), so these flags
+        # need the batch path.
+        batch = "repro study " + " ".join(unsupported)
+        verb = "requires" if len(unsupported) == 1 else "require"
         print(
-            "--stream renders the summary report only; it cannot be "
-            "combined with --shared, --full or --validate",
+            f"repro study --stream renders the summary report only; "
+            f"{', '.join(unsupported)} {verb} the batch path. "
+            f"Drop --stream and run the batch equivalent: {batch}",
             file=sys.stderr,
         )
         return 2
@@ -588,6 +663,136 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_axis_value(text: str):
+    """A CLI axis value, typed: int, float, bool, or string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _grid_from_args(args: argparse.Namespace):
+    """The grid a ``repro grid`` subcommand addresses.
+
+    Raises:
+        ValueError: For malformed --axis/--filter clauses or a --grid
+            file combined with inline shape flags.
+    """
+    from repro.spec.grid import GridAxis, GridSpec, load_grid
+
+    if args.grid:
+        if args.axis or args.filters:
+            raise ValueError("--grid already defines the shape; drop --axis/--filter")
+        return load_grid(args.grid)
+    axes = []
+    for clause in args.axis:
+        name, _, values = clause.partition("=")
+        if not name or not values:
+            raise ValueError(f"bad --axis {clause!r}; expected NAME=V1,V2,...")
+        axes.append(
+            GridAxis(name, tuple(_parse_axis_value(v) for v in values.split(",")))
+        )
+    filters = []
+    for clause in args.filters:
+        pairs = []
+        for part in clause.split(","):
+            axis, _, value = part.partition("=")
+            if not axis or not value:
+                raise ValueError(f"bad --filter {clause!r}; expected A=X,B=Y")
+            pairs.append((axis, _parse_axis_value(value)))
+        filters.append(tuple(pairs))
+    return GridSpec(base=args.base, axes=axes, filters=filters)
+
+
+def cmd_grid(args: argparse.Namespace, out) -> int:
+    from repro.spec.grid import diff_grids, load_grid
+    from repro.spec.info import SpecError
+
+    if args.grid_command == "diff":
+        try:
+            difference = diff_grids(load_grid(args.grid_a), load_grid(args.grid_b))
+        except (SpecError, KeyError, OSError) as error:
+            print(f"cannot diff grids: {error}", file=sys.stderr)
+            return 2
+        for bucket in ("added", "removed"):
+            for label in difference[bucket]:
+                print(f"{bucket} {label}", file=out)
+        print(f"common {len(difference['common'])} points", file=out)
+        return 0
+
+    try:
+        grid = _grid_from_args(args)
+    except (ValueError, OSError) as error:
+        print(f"bad grid: {error}", file=sys.stderr)
+        return 2
+
+    if args.grid_command == "plan":
+        from repro.spec.runner import plan_grid
+
+        try:
+            plan = plan_grid(grid, scale=args.scale, seed=args.seed)
+        except (SpecError, KeyError) as error:
+            print(f"cannot plan grid: {error}", file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(grid.to_json())
+                handle.write("\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if args.as_json:
+            import json
+
+            print(json.dumps({"base": grid.base, "points": plan},
+                             indent=2, sort_keys=True), file=out)
+            return 0
+        warm = sum(1 for point in plan if point["warm"])
+        print(
+            f"grid base={grid.base} points={len(plan)} "
+            f"(warm {warm}, cold {len(plan) - warm})",
+            file=out,
+        )
+        for point in plan:
+            state = "warm" if point["warm"] else "cold"
+            print(
+                f"  {state} {point['label']} "
+                f"[base={point['base']} policy={point['policy']}]",
+                file=out,
+            )
+        return 0
+
+    if args.grid_command == "run":
+        from repro.spec.runner import run_grid
+
+        metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+        try:
+            result = run_grid(
+                grid, scale=args.scale, seed=args.seed,
+                executor=executor_from_args(args),
+            )
+        except (SpecError, KeyError) as error:
+            print(f"cannot run grid: {error}", file=sys.stderr)
+            return 2
+        width = max(24, max(len(p.label) for p in result.points))
+        header = f"{'point':>{width}s}  " + "  ".join(f"{m:>18s}" for m in metrics)
+        print(header, file=out)
+        for point, row in zip(result.points, result.rows):
+            cells = "  ".join(f"{getattr(row, m):18.4f}" for m in metrics)
+            print(f"{point.label:>{width}s}  {cells}", file=out)
+        print(
+            f"grid: {len(result.points)} points "
+            f"({result.warm} warm, {result.cold} simulated)",
+            file=out,
+        )
+        return 0
+
+    raise AssertionError(f"unhandled grid command {args.grid_command!r}")
+
+
 _SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
 
 
@@ -682,6 +887,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "anonymize": cmd_anonymize,
     "sweep": cmd_sweep,
+    "grid": cmd_grid,
     "cache": cmd_cache,
     "trace": cmd_trace,
 }

@@ -9,7 +9,6 @@ flow-level dataset the analysis pipeline consumes.
 from repro.sim.seeding import derive_seed
 from repro.sim.scenarios import (
     DATASET_NAMES,
-    PAPER_SCENARIOS,
     ScenarioSpec,
     ScenarioWorld,
     build_world,
@@ -17,6 +16,18 @@ from repro.sim.scenarios import (
 from repro.sim.engine import RequestProcessor, SimulationResult, run_requests
 from repro.sim.driver import run_all, run_scenario
 from repro.sim.multistudy import build_shared_worlds, run_shared, run_shared_study
+
+
+def __getattr__(name: str):
+    # PEP 562: PAPER_SCENARIOS materialises from repro.spec.registry, which
+    # itself imports this package for ScenarioSpec.  Re-exporting it lazily
+    # keeps `from repro.sim import PAPER_SCENARIOS` working without forcing
+    # the registry to load mid-way through this module's own import.
+    if name == "PAPER_SCENARIOS":
+        from repro.sim import scenarios
+
+        return scenarios.PAPER_SCENARIOS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "derive_seed",

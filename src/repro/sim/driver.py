@@ -17,7 +17,7 @@ from repro import obs
 from repro.artifacts.memo import memoized_stage
 from repro.exec.executor import ParallelExecutor, default_executor
 from repro.sim.engine import DEFAULT_MISS_PROBABILITY, SimulationResult, run_requests
-from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, ScenarioSpec, build_world
+from repro.sim.scenarios import DATASET_NAMES, ScenarioSpec, _paper_scenarios, build_world
 from repro.trace.records import WEEK_S
 
 #: Default volume scale used by tests/benchmarks; preserves all shapes at
@@ -51,7 +51,7 @@ def run_scenario(
     Raises:
         KeyError: For unknown dataset names.
     """
-    spec = PAPER_SCENARIOS.get(name)
+    spec = _paper_scenarios().get(name)
     if spec is None:
         raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
     return run_spec(spec, scale, seed, duration_s, policy_kind, use_cache)
@@ -73,6 +73,43 @@ def run_spec(
     if use_cache:
         _CACHE[key] = result
     return result
+
+
+def run_applied(
+    base,
+    delta,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    base_policy: str = "preferred",
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Simulate a spec delta applied to a base scenario.
+
+    The declarative entry point: the delta's pars/set changes (including
+    its ``"policy"`` par) are validated against and composed with the
+    base by :func:`repro.spec.model.apply_to_scenario`, and the result
+    runs through :func:`run_spec` — so a grid point, a what-if variant
+    and a hand-rolled ``run_applied`` call with equal inputs all share
+    one ``"sim/run_week"`` artifact.
+
+    Args:
+        base: A :class:`ScenarioSpec`, or a :mod:`repro.spec.registry`
+            name.
+        delta: The :class:`~repro.spec.model.Spec` to apply.
+        base_policy: Policy the ``"policy"`` par starts from.
+
+    Raises:
+        SpecError: If the delta cannot apply to the base.
+        KeyError: For unknown registry names.
+    """
+    from repro.spec.model import apply_to_scenario
+    from repro.spec.registry import scenario_spec
+
+    if isinstance(base, str):
+        base = scenario_spec(base)
+    scenario, policy = apply_to_scenario(base, delta, base_policy=base_policy)
+    return run_spec(scenario, scale, seed, duration_s, policy, use_cache)
 
 
 @memoized_stage("sim/run_week")
@@ -129,11 +166,12 @@ def run_all(
         Mapping from dataset name to its result, in the paper's order.
     """
     selected = names if names is not None else DATASET_NAMES
+    scenarios = _paper_scenarios()
     for name in selected:
-        if name not in PAPER_SCENARIOS:
+        if name not in scenarios:
             raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
     keys = {
-        name: (PAPER_SCENARIOS[name], scale, seed, duration_s, policy_kind)
+        name: (scenarios[name], scale, seed, duration_s, policy_kind)
         for name in selected
     }
     pending = [name for name in selected if keys[name] not in _CACHE]

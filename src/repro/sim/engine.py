@@ -231,7 +231,11 @@ def run_many(
     :func:`repro.sim.driver.simulate_week` writes; only the missing weeks
     fan out.  A hand-modified world must clear ``world.policy_kind`` (set
     it to ``None``) to opt out — the cache cannot see mutations made
-    after the build.
+    after the build.  The idiomatic alternative is to express the change
+    as a :class:`~repro.spec.model.Spec` delta and rebuild through
+    :func:`repro.spec.model.apply_spec`: spec-built worlds always carry a
+    canonical fingerprint, so the opt-out (and its cold-path cost) never
+    applies to them — see :mod:`repro.artifacts.keys`.
 
     Args:
         worlds: Independent built worlds (must not share a ``system``;

@@ -39,10 +39,10 @@ from repro.sim.scenarios import (
     DATASET_NAMES,
     GOOGLE_DC_PLAN,
     LEGACY_DC_PLAN,
-    PAPER_SCENARIOS,
     THIRD_PARTY_DC_PLAN,
     ScenarioSpec,
     ScenarioWorld,
+    _paper_scenarios,
     _slug,
 )
 from repro.sim.seeding import derive_seed
@@ -79,7 +79,7 @@ def build_shared_worlds(
         raise ValueError("scale must be positive")
     specs: List[ScenarioSpec] = []
     for name in names:
-        spec = PAPER_SCENARIOS.get(name)
+        spec = _paper_scenarios().get(name)
         if spec is None:
             raise KeyError(f"unknown dataset {name!r}")
         specs.append(spec)
@@ -147,7 +147,7 @@ def build_shared_worlds(
 
     # ------------------------------------------------------------ latencies
     detours: Dict[Tuple[str, str], float] = {}
-    for spec in PAPER_SCENARIOS.values():
+    for spec in _paper_scenarios().values():
         spec_group = f"vp:{spec.name}"
         for dc_id, detour_ms in spec.detour_pins:
             detours[(spec_group, dc_id)] = detour_ms

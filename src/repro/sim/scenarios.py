@@ -191,120 +191,73 @@ class ScenarioSpec:
     #: data center": the preferred data center is an assignment, and
     #: YouTube can (and did) re-assign it away from the RTT optimum.
     preferred_override: Optional[str] = None
+    #: Extra Google-fleet data centers beyond :data:`GOOGLE_DC_PLAN`, as
+    #: (city, fleet size) pairs — the topology axis for what-if grids
+    #: (``repro.spec``'s ``"datacenter"`` set deltas land here).
+    extra_dcs: Tuple[Tuple[str, int], ...] = ()
+    #: Cities removed from :data:`GOOGLE_DC_PLAN` (drained/decommissioned
+    #: data-center what-ifs; the complementary half of the topology axis).
+    removed_dcs: Tuple[str, ...] = ()
 
     def diurnal_profile(self) -> DiurnalProfile:
         """The arrival profile matching the vantage point's nature."""
         return DiurnalProfile.residential() if self.residential else DiurnalProfile.campus()
 
+    def effective_dc_plan(self) -> Tuple[Tuple[str, int], ...]:
+        """The Google data-center plan this scenario actually builds:
+        the shared :data:`GOOGLE_DC_PLAN` minus :attr:`removed_dcs` plus
+        :attr:`extra_dcs`.
 
-#: The five datasets of Table I.  Request volumes are derived from the
-#: paper's weekly flow counts (flows ≈ 1.3 × requests).
-PAPER_SCENARIOS: Dict[str, ScenarioSpec] = {
-    "US-Campus": ScenarioSpec(
-        name="US-Campus",
-        vantage_city="West Lafayette",
-        access=AccessTechnology.CAMPUS,
-        egress_ms=10.0,
-        vantage_asn=17,
-        subnets=(
-            SubnetSpec("Net-1", 0.30),
-            SubnetSpec("Net-2", 0.27),
-            SubnetSpec("Net-3", 0.04, divergent_resolver=True),
-            SubnetSpec("Net-4", 0.22),
-            SubnetSpec("Net-5", 0.17),
-        ),
-        num_clients=20443,
-        client_block="128.210.0.0/15",
-        requests_per_day=94600.0,
-        residential=False,
-        spill_probability=0.02,
-        # The five geographically closest data centers are reached over
-        # congested transit, so the lowest-RTT data center is a far one —
-        # the Figure 8 anomaly.
-        detour_pins=(
-            ("dc-chicago", 25.0),
-            ("dc-kansas-city", 25.0),
-            ("dc-atlanta", 25.0),
-            ("dc-ashburn", 25.0),
-            ("dc-new-york", 25.0),
-            ("dc-dallas", 0.0),
-        ),
-    ),
-    "EU1-Campus": ScenarioSpec(
-        name="EU1-Campus",
-        vantage_city="Turin",
-        access=AccessTechnology.CAMPUS,
-        egress_ms=4.0,
-        vantage_asn=137,
-        subnets=(
-            SubnetSpec("Net-1", 0.55),
-            SubnetSpec("Net-2", 0.45),
-        ),
-        num_clients=1113,
-        client_block="130.192.0.0/15",
-        requests_per_day=14600.0,
-        residential=False,
-        spill_probability=0.04,
-        detour_pins=(("dc-milan", 0.0),),
-    ),
-    "EU1-ADSL": ScenarioSpec(
-        name="EU1-ADSL",
-        vantage_city="Turin",
-        access=AccessTechnology.ADSL,
-        egress_ms=3.0,
-        vantage_asn=3269,
-        subnets=(
-            SubnetSpec("Net-1", 0.40),
-            SubnetSpec("Net-2", 0.35),
-            SubnetSpec("Net-3", 0.25),
-        ),
-        num_clients=8348,
-        client_block="151.52.0.0/15",
-        requests_per_day=94900.0,
-        residential=True,
-        spill_probability=0.04,
-        detour_pins=(("dc-milan", 0.0),),
-    ),
-    "EU1-FTTH": ScenarioSpec(
-        name="EU1-FTTH",
-        vantage_city="Turin",
-        access=AccessTechnology.FTTH,
-        egress_ms=2.0,
-        vantage_asn=3269,
-        subnets=(
-            SubnetSpec("Net-1", 0.60),
-            SubnetSpec("Net-2", 0.40),
-        ),
-        num_clients=997,
-        client_block="151.54.0.0/15",
-        requests_per_day=9900.0,
-        residential=True,
-        spill_probability=0.04,
-        detour_pins=(("dc-milan", 0.0),),
-    ),
-    "EU2": ScenarioSpec(
-        name="EU2",
-        vantage_city="Madrid",
-        access=AccessTechnology.ADSL,
-        egress_ms=3.0,
-        vantage_asn=_ISP_ASN_EU2,
-        subnets=(
-            SubnetSpec("Net-1", 0.40),
-            SubnetSpec("Net-2", 0.35),
-            SubnetSpec("Net-3", 0.25),
-        ),
-        num_clients=6552,
-        client_block="81.32.0.0/15",
-        requests_per_day=55500.0,
-        residential=True,
-        spill_probability=0.01,
-        internal_dc=True,
-        internal_dc_cap_of_mean=0.55,
-        legacy_probability=0.22,
-    ),
-}
+        Raises:
+            ValueError: If :attr:`removed_dcs` names an absent city or
+                the effective plan holds duplicate cities.
+        """
+        removed = set(self.removed_dcs)
+        known = {city for city, _size in GOOGLE_DC_PLAN}
+        unknown = sorted(removed - known)
+        if unknown:
+            raise ValueError(f"removed_dcs name no known data center: {unknown}")
+        plan = tuple(
+            pair for pair in GOOGLE_DC_PLAN if pair[0] not in removed
+        ) + tuple(self.extra_dcs)
+        cities = [city for city, _size in plan]
+        if len(set(cities)) != len(cities):
+            raise ValueError(f"duplicate data-center cities in plan: {cities}")
+        return plan
 
-DATASET_NAMES: Tuple[str, ...] = tuple(PAPER_SCENARIOS)
+
+#: Dataset names of Table I, in the paper's order.
+DATASET_NAMES: Tuple[str, ...] = (
+    "US-Campus",
+    "EU1-Campus",
+    "EU1-ADSL",
+    "EU1-FTTH",
+    "EU2",
+)
+
+
+def _paper_scenarios() -> Dict[str, ScenarioSpec]:
+    """The five Table-I scenarios, materialised from the spec registry.
+
+    The definitions live in :mod:`repro.spec.registry` as declarative
+    deltas over a bare base (imported lazily — the registry imports this
+    module for :class:`ScenarioSpec` itself); the result is
+    value-identical to the historical literal dict.
+    """
+    from repro.spec.registry import paper_scenarios
+
+    return paper_scenarios()
+
+
+def __getattr__(name: str):
+    # PEP 562: PAPER_SCENARIOS is registry-backed but keeps its historical
+    # module-constant spelling.  The first access materialises and caches
+    # it; later accesses hit the module dict directly.
+    if name == "PAPER_SCENARIOS":
+        value = _paper_scenarios()
+        globals()["PAPER_SCENARIOS"] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def february_2011_us_campus() -> ScenarioSpec:
@@ -313,18 +266,14 @@ def february_2011_us_campus() -> ScenarioSpec:
     "In a more recent dataset collected in February 2011, we found that the
     majority of US-Campus video requests are directed to a data center with
     an RTT of more than 100 ms and not to the closest data center, which is
-    around 30 ms away."  We model the re-assignment by overriding the
-    preferred data center to Mountain View over a detoured (+55 ms) path.
+    around 30 ms away."  The re-assignment is modelled by the registry's
+    ``US-Campus-Feb2011`` spec (the US-Campus delta composed with
+    :data:`repro.spec.registry.FEB_2011_DELTA`); this constructor is the
+    thin legacy wrapper over it.
     """
-    import dataclasses
+    from repro.spec.registry import scenario_spec
 
-    base = PAPER_SCENARIOS["US-Campus"]
-    return dataclasses.replace(
-        base,
-        name="US-Campus-Feb2011",
-        detour_pins=base.detour_pins + (("dc-mountain-view", 55.0),),
-        preferred_override="dc-mountain-view",
-    )
+    return scenario_spec("US-Campus-Feb2011")
 
 
 @dataclass
@@ -348,7 +297,10 @@ class ScenarioWorld:
             ``None`` for worlds not built canonically by
             :func:`build_world` (shared-world facades, hand-assembled test
             worlds).  ``None`` opts the world out of artifact caching —
-            see :meth:`build_config`.
+            see :meth:`build_config`.  Worlds produced by
+            :func:`repro.spec.model.apply_spec` always come through
+            :func:`build_world` and therefore always carry a canonical
+            fingerprint: the spec layer has no ``None`` escape-hatch.
     """
 
     spec: ScenarioSpec
@@ -454,7 +406,7 @@ def build_world(
     mean_hourly = scaled_rpd / 24.0
 
     google_dcs: List[DataCenter] = []
-    for city_name, size in GOOGLE_DC_PLAN:
+    for city_name, size in spec.effective_dc_plan():
         dc = build_datacenter(
             dc_id=f"dc-{_slug(city_name)}",
             city=atlas.get(city_name),
@@ -481,7 +433,7 @@ def build_world(
     # measurement made "through" one world would see different paths than
     # another world's policy ranked by.
     detours: Dict[Tuple[str, str], float] = {}
-    for any_spec in PAPER_SCENARIOS.values():
+    for any_spec in _paper_scenarios().values():
         any_group = f"vp:{any_spec.name}"
         for dc_id, detour_ms in any_spec.detour_pins:
             detours[(any_group, dc_id)] = detour_ms

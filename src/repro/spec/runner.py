@@ -1,0 +1,184 @@
+"""Grid execution: enumerated points → warm rows + fanned-out cold runs.
+
+Each grid point materialises to a ``(scenario, scale, seed, duration_s,
+policy, label)`` task — the exact task shape what-if comparisons and
+sweeps use — and resolves through
+:func:`repro.whatif.metrics.resolve_metric_rows`: rows already in the
+artifact store are read back without simulating, and only the cold
+points fan out over the :class:`~repro.exec.executor.ParallelExecutor`.
+Re-running an extended grid therefore simulates exactly the added
+points, which ``scripts/grid_smoke.py`` asserts in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.exec.executor import ParallelExecutor
+from repro.spec.grid import GridPoint, GridSpec, enumerate_points
+from repro.spec.model import apply_to_scenario
+from repro.trace.records import WEEK_S
+from repro.whatif.metrics import ScenarioMetrics, resolve_metric_rows
+
+
+@dataclass
+class GridRunResult:
+    """Outcome of one grid run.
+
+    Attributes:
+        grid: The executed grid.
+        points: The enumerated points, in enumeration order.
+        rows: One metric row per point, parallel to ``points``.
+        warm: Points whose rows were read from the artifact store.
+        cold: Points that were simulated by this run.
+    """
+
+    grid: GridSpec
+    points: Tuple[GridPoint, ...]
+    rows: List[ScenarioMetrics] = field(default_factory=list)
+    warm: int = 0
+    cold: int = 0
+
+    def row(self, label: str) -> ScenarioMetrics:
+        """Row by point label.
+
+        Raises:
+            KeyError: For unknown labels.
+        """
+        for candidate in self.rows:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no grid row labelled {label!r}")
+
+
+def materialize_point(
+    point: GridPoint,
+    base_policy: str = "preferred",
+):
+    """Apply a point's delta to its base scenario.
+
+    Returns:
+        ``(scenario, policy)`` ready for
+        :func:`~repro.whatif.metrics.scenario_metrics`.
+
+    Raises:
+        SpecError: If the point's delta cannot apply to its base.
+        KeyError: For unknown base names.
+    """
+    from repro.spec.registry import scenario_spec
+
+    return apply_to_scenario(
+        scenario_spec(point.base), point.delta, base_policy=base_policy
+    )
+
+
+def _point_tasks(
+    points: Sequence[GridPoint],
+    scale: float,
+    seed: int,
+    duration_s: float,
+    base_policy: str,
+) -> List[Tuple]:
+    tasks = []
+    for point in points:
+        scenario, policy = materialize_point(point, base_policy=base_policy)
+        tasks.append((scenario, scale, seed, duration_s, policy, point.label))
+    return tasks
+
+
+def _warm_flags(tasks: Sequence[Tuple]) -> List[bool]:
+    """Which tasks' metric rows are already in the artifact store."""
+    from repro.artifacts.store import default_store
+    from repro.whatif.metrics import scenario_metrics
+
+    store = default_store()
+    if store is None:
+        return [False] * len(tasks)
+    miss = object()
+    return [
+        store.get(scenario_metrics.cache_key(*task), miss,
+                  stage="whatif/metrics") is not miss
+        for task in tasks
+    ]
+
+
+def plan_grid(
+    grid: GridSpec,
+    scale: float = 0.01,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    base_policy: str = "preferred",
+) -> List[Dict[str, Any]]:
+    """Per-point run plan: what would simulate, what is already warm.
+
+    Returns:
+        One dict per point — ``label``, ``base``, ``policy``, and
+        ``warm`` (whether the artifact store already holds its row) — in
+        enumeration order.  Nothing simulates.
+
+    Raises:
+        SpecError: For invalid grids or inapplicable deltas.
+        KeyError: For unknown base/dataset names.
+    """
+    points = enumerate_points(grid)
+    tasks = _point_tasks(points, scale, seed, duration_s, base_policy)
+    flags = _warm_flags(tasks)
+    return [
+        {
+            "label": point.label,
+            "base": point.base,
+            "policy": task[4],
+            "warm": warm,
+        }
+        for point, task, warm in zip(points, tasks, flags)
+    ]
+
+
+def run_grid(
+    grid: GridSpec,
+    scale: float = 0.01,
+    seed: int = 7,
+    duration_s: float = WEEK_S,
+    base_policy: str = "preferred",
+    executor: Optional[ParallelExecutor] = None,
+) -> GridRunResult:
+    """Simulate every grid point and collect its metric row.
+
+    Points are independent worlds sharing one master seed, so the cold
+    ones fan out over the executor with byte-identical rows on every
+    backend; warm rows load from the artifact store without simulating.
+
+    Args:
+        grid: The grid to run.
+        scale: Traffic scale per point.
+        seed: Shared master seed.
+        duration_s: Simulation window per point.
+        base_policy: Policy for points whose delta does not set the
+            ``"policy"`` par.
+        executor: Fan-out strategy; ``None`` reads ``REPRO_EXECUTOR``.
+
+    Returns:
+        The :class:`GridRunResult`, rows in enumeration order.
+
+    Raises:
+        SpecError: For invalid grids or inapplicable deltas.
+        KeyError: For unknown base/dataset names.
+    """
+    points = enumerate_points(grid)
+    tasks = _point_tasks(points, scale, seed, duration_s, base_policy)
+    flags = _warm_flags(tasks)
+    warm = sum(flags)
+    with obs.span("grid/run", base=grid.base, points=len(points),
+                  warm=warm, cold=len(points) - warm):
+        rows = resolve_metric_rows(
+            tasks, [f"{task[0].name}/{task[-1]}" for task in tasks], executor
+        )
+    return GridRunResult(
+        grid=grid,
+        points=points,
+        rows=rows,
+        warm=warm,
+        cold=len(points) - warm,
+    )

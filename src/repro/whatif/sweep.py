@@ -5,6 +5,13 @@ varies one :class:`~repro.sim.scenarios.ScenarioSpec` field over a value
 grid and traces how a metric responds — e.g. how EU2's local-serve share
 falls as the in-ISP data center's DNS budget shrinks, or how the miss rate
 rises as regional replication thins out.
+
+A sweep is the degenerate one-axis case of a scenario grid, and since the
+spec layer it is implemented as exactly that: :func:`sweep_parameter`
+builds a single-axis :class:`~repro.spec.grid.GridSpec` and runs it
+through :func:`~repro.spec.runner.run_grid`.  Labels and artifact keys
+are unchanged, so pre-grid sweep caches stay warm and a sweep point is a
+warm hit for any grid containing it (and vice versa).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from repro.reporting.series import Series
 from repro.sim.engine import SimulationResult
 from repro.sim.scenarios import PAPER_SCENARIOS, ScenarioSpec
 from repro.trace.records import WEEK_S
-from repro.whatif.metrics import ScenarioMetrics, resolve_metric_rows
+from repro.whatif.metrics import ScenarioMetrics
 
 #: A metric extractor: simulation result → one number.
 MetricFn = Callable[[SimulationResult], float]
@@ -104,8 +111,10 @@ def sweep_parameter(
         KeyError: For unknown scenarios.
         ValueError: For unknown spec fields or an empty grid.
     """
-    spec = PAPER_SCENARIOS.get(scenario_name)
-    if spec is None:
+    from repro.spec.grid import GridAxis, GridSpec
+    from repro.spec.runner import run_grid
+
+    if scenario_name not in PAPER_SCENARIOS:
         raise KeyError(f"unknown scenario {scenario_name!r}")
     if not values:
         raise ValueError("empty sweep grid")
@@ -113,17 +122,15 @@ def sweep_parameter(
     if parameter not in field_names:
         raise ValueError(f"ScenarioSpec has no field {parameter!r}")
 
-    tasks = []
-    for value in values:
-        point_spec = dataclasses.replace(spec, **{parameter: value})
-        tasks.append(
-            (point_spec, scale, seed, duration_s, policy_kind, f"{parameter}={value}")
-        )
-    rows = resolve_metric_rows(
-        tasks, [f"{scenario_name}/{task[-1]}" for task in tasks], executor
+    grid = GridSpec(
+        base=scenario_name, axes=(GridAxis(parameter, tuple(values)),)
+    )
+    run = run_grid(
+        grid, scale=scale, seed=seed, duration_s=duration_s,
+        base_policy=policy_kind, executor=executor,
     )
     result = SweepResult(scenario_name=scenario_name, parameter=parameter)
-    for value, row in zip(values, rows):
+    for value, row in zip(values, run.rows):
         result.values.append(float(value))
         result.metrics.append(row)
     return result

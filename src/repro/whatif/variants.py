@@ -1,21 +1,25 @@
 """Scenario variants: controlled perturbations of a baseline world.
 
-A variant is a named transformation of a :class:`ScenarioSpec` (plus an
-optional policy switch).  The standard library below covers the design
-dimensions DESIGN.md calls out for ablation and the paper's own what-if
-motivations: selection policy, data-center capacity, popularity shape,
-content availability, and flash crowds.
+A variant is a named :class:`~repro.spec.model.Spec` delta — the same
+require/remove/add shape grids and the registry use — so one variant is
+one diffable, serialisable document, and a variant equal to a grid point
+shares that point's cached artifacts.  The standard library below covers
+the design dimensions DESIGN.md calls out for ablation and the paper's
+own what-if motivations: selection policy, data-center capacity,
+popularity shape, content availability, and flash crowds.
+
+The selection policy rides inside the delta as the ``"policy"`` par;
+:attr:`Variant.policy_kind` reads it back, so callers (comparisons, the
+CLI) see the exact pre-spec API and produce byte-identical output.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass
-from typing import Callable, List
+from dataclasses import dataclass, field
+from typing import List
 
 from repro.sim.scenarios import ScenarioSpec
-
-SpecTransform = Callable[[ScenarioSpec], ScenarioSpec]
+from repro.spec.model import EMPTY_SPEC, Spec, apply_to_scenario, par_delta
 
 
 @dataclass(frozen=True)
@@ -25,34 +29,36 @@ class Variant:
     Attributes:
         name: Short identifier (``"old-policy"``).
         description: One-line human explanation.
-        transform: Spec transformation (identity for policy-only variants).
-        policy_kind: Selection policy for the variant's world.
+        spec: The delta against the baseline scenario (empty for
+            policy-only variants).
     """
 
     name: str
     description: str
-    transform: SpecTransform
-    policy_kind: str = "preferred"
+    spec: Spec = field(default=EMPTY_SPEC)
+
+    @property
+    def policy_kind(self) -> str:
+        """Selection policy for the variant's world (the ``"policy"``
+        par of the delta; ``"preferred"`` when unset)."""
+        return self.spec.add.pars_dict.get("policy", "preferred")
 
     def apply(self, spec: ScenarioSpec) -> ScenarioSpec:
-        """The variant's spec, derived from a baseline spec."""
-        return self.transform(spec)
+        """The variant's scenario, derived from a baseline scenario.
 
+        An empty delta returns the baseline object untouched, so the
+        baseline variant is an exact identity.
 
-def _identity(spec: ScenarioSpec) -> ScenarioSpec:
-    return spec
-
-
-def _replace(**changes) -> SpecTransform:
-    def transform(spec: ScenarioSpec) -> ScenarioSpec:
-        return dataclasses.replace(spec, **changes)
-
-    return transform
+        Raises:
+            SpecError: If the delta cannot apply to this baseline.
+        """
+        scenario, _policy = apply_to_scenario(spec, self.spec)
+        return scenario
 
 
 def baseline_variant() -> Variant:
     """The unmodified scenario, for reference rows."""
-    return Variant(name="baseline", description="unmodified scenario", transform=_identity)
+    return Variant(name="baseline", description="unmodified scenario")
 
 
 def standard_variants() -> List[Variant]:
@@ -67,61 +73,59 @@ def standard_variants() -> List[Variant]:
         Variant(
             name="old-policy",
             description="pre-Google selection: data centers by size, no locality",
-            transform=_identity,
-            policy_kind="proportional",
+            spec=par_delta(policy="proportional"),
         ),
         Variant(
             name="double-capacity",
             description="double per-server serve capacity (hot-spots absorbed locally)",
-            transform=_replace(server_capacity_multiple=12.0),
+            spec=par_delta(server_capacity_multiple=12.0),
         ),
         Variant(
             name="half-capacity",
             description="halve per-server serve capacity (more overflow redirection)",
-            transform=_replace(server_capacity_multiple=3.0),
+            spec=par_delta(server_capacity_multiple=3.0),
         ),
         Variant(
             name="flash-crowd",
             description="the daily featured video absorbs 25% of requests",
-            transform=_replace(featured_share=0.25),
+            spec=par_delta(featured_share=0.25),
         ),
         Variant(
             name="flat-popularity",
             description="flatter popularity (zipf alpha 0.6): a longer effective tail",
-            transform=_replace(zipf_alpha=0.6),
+            spec=par_delta(zipf_alpha=0.6),
         ),
         Variant(
             name="sparse-replication",
             description="tail content rarely pre-positioned (regional presence 0.3)",
-            transform=_replace(regional_presence_prob=0.3),
+            spec=par_delta(regional_presence_prob=0.3),
         ),
         Variant(
             name="no-spill",
             description="DNS never load-balances away from the preferred data center",
-            transform=_replace(spill_probability=0.0),
+            spec=par_delta(spill_probability=0.0),
         ),
         Variant(
             name="tiny-edge-cache",
             description="edge caches hold only 25 pulled-through tail videos (LRU)",
-            transform=_replace(cache_capacity=25, regional_presence_prob=0.3),
+            spec=par_delta(cache_capacity=25, regional_presence_prob=0.3),
         ),
         Variant(
             name="geo-policy",
             description="idealised selection by geographic distance instead of RTT",
-            transform=_identity,
-            policy_kind="geographic",
+            spec=par_delta(policy="geographic"),
         ),
         Variant(
             name="sticky-dns",
             description="resolvers cache answers for 30 min: DNS-level control "
                         "coarsens and the app layer picks up the slack",
-            transform=_replace(dns_cache_enabled=True, dns_ttl_s=1800.0),
+            spec=par_delta(dns_cache_enabled=True, dns_ttl_s=1800.0),
         ),
         Variant(
             name="preferred-outage",
             description="the preferred data center is drained at the DNS level "
                         "(maintenance): everything lands one rank down",
-            transform=_replace(drain_preferred=True),
+            spec=par_delta(drain_preferred=True),
         ),
     ]
 

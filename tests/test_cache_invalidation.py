@@ -62,7 +62,8 @@ class TestKeyInvalidation:
     @pytest.mark.parametrize("field", [
         f.name for f in dataclasses.fields(type(SPEC))
         if f.name not in ("name", "vantage_city", "access", "subnets",
-                          "detour_pins", "client_block")
+                          "detour_pins", "client_block",
+                          "extra_dcs", "removed_dcs")
     ])
     def test_every_numeric_spec_field_invalidates(self, field):
         value = getattr(SPEC, field)
@@ -79,6 +80,11 @@ class TestKeyInvalidation:
         assert simulate_week.cache_key(renamed, **BASE) != base_key()
         pinned = dataclasses.replace(SPEC, detour_pins=(("dc-x", 5.0),))
         assert simulate_week.cache_key(pinned, **BASE) != base_key()
+        # The topology axis (spec-layer "datacenter" set deltas) keys too.
+        grown = dataclasses.replace(SPEC, extra_dcs=(("Oslo", 48),))
+        assert simulate_week.cache_key(grown, **BASE) != base_key()
+        shrunk = dataclasses.replace(SPEC, removed_dcs=("Miami",))
+        assert simulate_week.cache_key(shrunk, **BASE) != base_key()
 
     def test_code_version_invalidates(self, monkeypatch):
         before = base_key()

@@ -147,3 +147,102 @@ class TestComposite:
         assert code == 0
         assert "baseline" in text
         assert "old-policy" in text
+
+
+class TestGridCommand:
+    def test_plan_lists_points_and_warmth(self):
+        code, text = run_cli(
+            "grid", "plan", "--base", "EU1-FTTH",
+            "--axis", "policy=preferred,geographic",
+            "--axis", "zipf_alpha=0.8,1.0",
+            "--filter", "policy=geographic,zipf_alpha=1.0",
+            "--scale", "0.004",
+        )
+        assert code == 0
+        assert "points=3" in text
+        assert "policy=geographic,zipf_alpha=1.0" not in text
+        assert text.count("cold") == 4  # the header count + three points
+
+    def test_plan_json_and_out_round_trip(self, tmp_path):
+        import json
+
+        grid_file = tmp_path / "grid.json"
+        code, text = run_cli(
+            "grid", "plan", "--base", "EU2",
+            "--axis", "policy=preferred,proportional",
+            "--out", str(grid_file), "--json",
+        )
+        assert code == 0
+        document = json.loads(text)
+        assert document["base"] == "EU2"
+        assert [p["label"] for p in document["points"]] == [
+            "policy=preferred", "policy=proportional",
+        ]
+        # The written grid file reloads into the identical plan.
+        code, text = run_cli("grid", "plan", "--grid", str(grid_file), "--json")
+        assert code == 0
+        assert json.loads(text) == document
+
+    def test_run_prints_metric_table(self):
+        code, text = run_cli(
+            "grid", "run", "--base", "EU1-FTTH",
+            "--axis", "spill_probability=0.0,0.1",
+            "--metrics", "preferred_share",
+            "--scale", "0.004",
+        )
+        assert code == 0
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].split() == ["point", "preferred_share"]
+        assert lines[-1].startswith("grid: 2 points")
+        first = float(lines[1].split()[-1])
+        second = float(lines[2].split()[-1])
+        assert first > second  # spill lowers the preferred share
+
+    def test_diff_reports_added_points(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        run_cli("grid", "plan", "--base", "EU1-FTTH",
+                "--axis", "policy=preferred", "--out", str(a), "--scale", "0.004")
+        run_cli("grid", "plan", "--base", "EU1-FTTH",
+                "--axis", "policy=preferred,geographic", "--out", str(b),
+                "--scale", "0.004")
+        code, text = run_cli("grid", "diff", str(a), str(b))
+        assert code == 0
+        assert "added policy=geographic" in text
+        assert "common 1 points" in text
+
+    def test_unknown_base_exits_2(self, capsys):
+        code, text = run_cli("grid", "plan", "--base", "Mars",
+                             "--axis", "policy=preferred")
+        assert code == 2
+        assert "Mars" in capsys.readouterr().err
+
+    def test_bad_axis_clause_exits_2(self, capsys):
+        code, _ = run_cli("grid", "plan", "--axis", "policy")
+        assert code == 2
+        assert "NAME=V1,V2" in capsys.readouterr().err
+
+    def test_grid_file_conflicts_with_inline_shape(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text('{"base": "EU2", "axes": []}')
+        code, _ = run_cli("grid", "plan", "--grid", str(grid_file),
+                          "--axis", "policy=preferred")
+        assert code == 2
+        assert "--grid" in capsys.readouterr().err
+
+
+class TestStudyStreamGating:
+    @pytest.mark.parametrize("flags,expected", [
+        (["--full"], "repro study --full"),
+        (["--shared"], "repro study --shared"),
+        (["--validate"], "repro study --validate"),
+        (["--full", "--validate"], "repro study --full --validate"),
+    ])
+    def test_stream_rejects_batch_only_flags(self, flags, expected, capsys):
+        code, text = run_cli("study", "--stream", "--scale", "0.004", *flags)
+        assert code == 2
+        assert text == ""  # the error goes to stderr, not the report stream
+        error = capsys.readouterr().err
+        for flag in flags:
+            assert flag in error
+        assert expected in error  # names the exact batch equivalent
