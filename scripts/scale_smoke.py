@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Sharded scale-out smoke test.
+
+Runs the paper study monolithically and sharded (``repro study
+--sharded`` on the process backend) in *separate subprocesses* and
+asserts the scale-out layer's guarantees:
+
+1. **Byte parity** — the sharded run's stdout (summary report plus
+   ``--digests`` lines) is byte-for-byte identical to the monolithic
+   batch run at every worker count.
+2. **Scale-out wins** — on a machine with at least two cores, the best
+   sharded process-backend run at ≥2 workers beats the monolithic
+   wall-clock.  On single-core runners the timing assertion is skipped
+   (recorded as ``speedup_checked: false``) — sharding there pays pickle
+   and fork overhead with nothing to parallelise onto.
+3. **No leaks** — each child asserts every shared-memory segment is
+   unlinked before it exits (``repro.shard.shm.live_segments``), so a
+   crash-path regression fails the smoke run, not a later tenant of the
+   machine.
+
+Throughput (flows/sec), per-worker wall-clock and the serialized payload
+bytes the shm transport avoids land in ``benchmarks/out/BENCH_scale.json``
+for the CI artifact upload.
+
+Usage::
+
+    python scripts/scale_smoke.py [--scale 0.1] [--workers 1,2,4]
+
+The harness re-invokes itself with ``--child``: the child redirects
+stdout to a file, runs ``repro.cli.main`` in-process, and reports
+``{elapsed_s, max_rss_kb, exit_code}`` as JSON — everything the parent
+compares.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_DIR = REPO / "benchmarks" / "out"
+
+LANDMARKS = 60  # keep CBG calibration cheap; irrelevant to sharding
+
+
+def child_main(report_path: str, stdout_path: str, argv: list) -> int:
+    """Run one ``repro`` CLI invocation in-process and report on it."""
+    import resource
+
+    from repro.cli import main
+    from repro.shard.shm import live_segments
+
+    start = time.perf_counter()
+    with open(stdout_path, "w", encoding="utf-8") as sink:
+        saved = sys.stdout
+        sys.stdout = sink
+        try:
+            code = main(argv)
+        finally:
+            sys.stdout = saved
+    leaked = live_segments()
+    if leaked:
+        print(f"leaked shared-memory segments: {leaked}", file=sys.stderr)
+        code = code or 3
+    payload = {
+        "elapsed_s": time.perf_counter() - start,
+        "max_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "exit_code": int(code or 0),
+    }
+    Path(report_path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return int(code or 0)
+
+
+def run_child(argv: list, workdir: str, tag: str, extra_env: dict = {}) -> dict:
+    """One CLI run in a fresh subprocess; returns the child's report."""
+    report_path = os.path.join(workdir, f"report-{tag}.json")
+    stdout_path = os.path.join(workdir, f"stdout-{tag}.txt")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE"] = "off"  # smoke times real compute, byte-compares real runs
+    env.update(extra_env)
+    command = [sys.executable, str(Path(__file__).resolve()), "--child",
+               report_path, stdout_path, "--", *argv]
+    proc = subprocess.run(command, env=env, cwd=REPO, text=True,
+                          capture_output=True)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"child {argv} exited {proc.returncode}:\n{proc.stderr}")
+    report = json.loads(Path(report_path).read_text(encoding="utf-8"))
+    report["stdout"] = Path(stdout_path).read_text(encoding="utf-8")
+    return report
+
+
+def study_argv(scale: float, sharded: bool = False) -> list:
+    argv = ["study", "--scale", str(scale), "--landmarks", str(LANDMARKS),
+            "--digests"]
+    if sharded:
+        argv += ["--sharded"]
+    return argv
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--child":
+        split = sys.argv.index("--")
+        return child_main(sys.argv[2], sys.argv[3], sys.argv[split + 1:])
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated process-pool sizes to sweep")
+    args = parser.parse_args()
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    failures: list = []
+    cores = os.cpu_count() or 1
+    report: dict = {"scale": args.scale, "cpu_count": cores,
+                    "workers": worker_counts, "sharded": {}}
+
+    with tempfile.TemporaryDirectory(prefix="repro-scale-smoke-") as work:
+        monolithic = run_child(study_argv(args.scale), work, "monolithic")
+        report["monolithic_s"] = round(monolithic["elapsed_s"], 3)
+
+        flows = None
+        for workers in worker_counts:
+            stats_path = os.path.join(work, f"shard_stats_{workers}.json")
+            sharded = run_child(
+                study_argv(args.scale, sharded=True), work, f"w{workers}",
+                extra_env={
+                    "REPRO_EXECUTOR": "process",
+                    "REPRO_WORKERS": str(workers),
+                    "REPRO_SHARD_STATS": stats_path,
+                })
+            identical = sharded["stdout"] == monolithic["stdout"]
+            if not identical:
+                failures.append(
+                    f"--sharded stdout at {workers} workers differs from "
+                    f"monolithic at scale {args.scale}")
+            stats = json.loads(Path(stats_path).read_text(encoding="utf-8"))
+            if flows is None:
+                flows = sum(d["flows"] for d in stats["datasets"].values())
+            report["sharded"][str(workers)] = {
+                "elapsed_s": round(sharded["elapsed_s"], 3),
+                "flows_per_sec": round(flows / sharded["elapsed_s"], 1),
+                "parity": identical,
+                "max_rss_kb": sharded["max_rss_kb"],
+                "dispatch_bytes": stats["dispatch_bytes"],
+                "result_bytes": stats["result_bytes"],
+            }
+
+        report["flows"] = flows
+        report["monolithic_flows_per_sec"] = round(
+            flows / monolithic["elapsed_s"], 1)
+
+        multi = [report["sharded"][str(w)]["elapsed_s"]
+                 for w in worker_counts if w >= 2]
+        report["speedup_checked"] = cores >= 2 and bool(multi)
+        if report["speedup_checked"]:
+            best = min(multi)
+            report["best_multiworker_s"] = best
+            report["speedup_vs_monolithic"] = round(
+                monolithic["elapsed_s"] / best, 3)
+            if best >= monolithic["elapsed_s"]:
+                failures.append(
+                    f"best sharded multi-worker run ({best:.3f}s) does not "
+                    f"beat the monolithic run "
+                    f"({monolithic['elapsed_s']:.3f}s) on {cores} cores")
+
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    bench_path = OUT_DIR / "BENCH_scale.json"
+    doc: dict = {}
+    if bench_path.exists():
+        try:
+            doc = json.loads(bench_path.read_text(encoding="utf-8"))
+        except ValueError:
+            doc = {}
+    doc["smoke"] = report
+    bench_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {bench_path}")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("scale smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 3600; any positive value yields the "
         "same bytes)",
     )
+    p_study.add_argument(
+        "--sharded", action="store_true",
+        help="sharded scale-out: partition each week into "
+        "(vantage, time-window) shards analyzed over "
+        "shared-memory columns and merged exactly; output "
+        "is byte-identical to the batch path at any "
+        "--shard-window-s",
+    )
+    p_study.add_argument(
+        "--shard-window-s", type=float, default=86400.0,
+        help="shard grain for --sharded, in seconds of trace "
+        "per shard (default 86400; any positive value "
+        "yields the same bytes)",
+    )
     _add_common(p_study)
 
     p_sessions = sub.add_parser("sessions", help="session analysis of a flow log")
@@ -420,28 +434,73 @@ def _render_stream_study(args: argparse.Namespace):
     return render_stream_report(study), study.digests()
 
 
+def _render_sharded_study(args: argparse.Namespace):
+    """Run the study through the sharded path (see :mod:`repro.shard`).
+
+    Returns:
+        ``(text, digests)`` with exactly the bytes :func:`_render_study`
+        produces for the same parameters.
+    """
+    from repro.exec.executor import default_executor
+    from repro.shard.study import run_sharded_study
+    from repro.stream.study import peak_rss_kb, render_stream_report
+
+    landmark_count = None if args.landmarks >= 215 else args.landmarks
+    executor = default_executor(executor_from_args(args))
+    study = run_sharded_study(
+        scale=args.scale,
+        seed=args.seed,
+        shard_window_s=args.shard_window_s,
+        landmark_count=landmark_count,
+        executor=executor,
+    )
+    stats_path = os.environ.get("REPRO_SHARD_STATS", "").strip()
+    if stats_path:
+        import json
+
+        payload = {
+            "shard_window_s": args.shard_window_s,
+            "peak_rss_kb": peak_rss_kb(),
+            "datasets": study.stats(),
+            "dispatch_bytes": sum(s.dispatch_bytes for s in executor.stats),
+            "result_bytes": sum(s.result_bytes for s in executor.stats),
+        }
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return render_stream_report(study), study.digests()
+
+
 def cmd_study(args: argparse.Namespace, out) -> int:
     from repro.artifacts.keys import stage_key
     from repro.artifacts.store import default_store
 
+    if args.stream and args.sharded:
+        print(
+            "repro study --stream and --sharded are alternative execution "
+            "strategies for the same byte-identical report; pick one.",
+            file=sys.stderr,
+        )
+        return 2
+    strategy = "--stream" if args.stream else "--sharded" if args.sharded else None
     unsupported = [
         flag
         for flag, active in (
             ("--shared", args.shared), ("--full", args.full),
             ("--validate", args.validate),
         )
-        if args.stream and active
+        if strategy is not None and active
     ]
     if unsupported:
-        # Fail fast and name the way out: the streamed path renders the
-        # summary report only (ROADMAP item 1 follow-up), so these flags
-        # need the batch path.
+        # Fail fast and name the way out: the streamed and sharded paths
+        # render the summary report only (ROADMAP item 1 follow-up), so
+        # these flags need the batch path.
         batch = "repro study " + " ".join(unsupported)
         verb = "requires" if len(unsupported) == 1 else "require"
         print(
-            f"repro study --stream renders the summary report only; "
+            f"repro study {strategy} renders the summary report only; "
             f"{', '.join(unsupported)} {verb} the batch path. "
-            f"Drop --stream and run the batch equivalent: {batch}",
+            f"Drop {strategy} and run the batch equivalent: {batch}",
             file=sys.stderr,
         )
         return 2
@@ -449,9 +508,9 @@ def cmd_study(args: argparse.Namespace, out) -> int:
     # whole study is one read, which is what makes re-runs startup-bound.
     # Keyed by everything the text depends on; --parallel/--workers change
     # only how the work is scheduled, never the bytes, so they stay out —
-    # and so do --stream/--window-s, which are execution strategies under
-    # the same byte-parity contract (a streamed run and a batch run fill
-    # and hit the same artifact).
+    # and so do --stream/--window-s and --sharded/--shard-window-s, which
+    # are execution strategies under the same byte-parity contract (a
+    # streamed, sharded or batch run fills and hits the same artifact).
     store = default_store()
     payload = None
     key = None
@@ -468,6 +527,8 @@ def cmd_study(args: argparse.Namespace, out) -> int:
     if payload is None:
         if args.stream:
             text, digests = _render_stream_study(args)
+        elif args.sharded:
+            text, digests = _render_sharded_study(args)
         else:
             text, digests = _render_study(args)
         payload = {"text": text, "digests": digests}
@@ -823,7 +884,10 @@ def cmd_cache(args: argparse.Namespace, out) -> int:
 
     store = ArtifactStore()
     if args.cache_command == "stats":
+        from repro.trace.columnar import resident_columnar
+
         summary = store.stats_summary()
+        summary["columnar"] = resident_columnar()
         if args.as_json:
             import json
 

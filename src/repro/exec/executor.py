@@ -27,6 +27,7 @@ restriction.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import traceback
 from concurrent.futures import (
@@ -128,11 +129,17 @@ class TaskTiming:
         label: Task label (for straggler reports).
         seconds: Wall time spent inside the task function.
         ok: Whether the task returned (``False`` = raised).
+        dispatch_bytes: Pickled size of the task sent to the worker
+            (process backend only; 0 when nothing was serialized).
+        result_bytes: Pickled size of the outcome that came back
+            (process backend only; 0 when nothing was serialized).
     """
 
     label: str
     seconds: float
     ok: bool
+    dispatch_bytes: int = 0
+    result_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -155,6 +162,16 @@ class MapStats:
     def task_seconds(self) -> float:
         """Total compute time across tasks (serial-equivalent cost)."""
         return sum(t.seconds for t in self.timings)
+
+    @property
+    def dispatch_bytes(self) -> int:
+        """Total pickled bytes sent to workers (the dispatch half)."""
+        return sum(t.dispatch_bytes for t in self.timings)
+
+    @property
+    def result_bytes(self) -> int:
+        """Total pickled bytes returned by workers (the result half)."""
+        return sum(t.result_bytes for t in self.timings)
 
     @property
     def speedup(self) -> float:
@@ -203,12 +220,17 @@ class TaskOutcome:
             for rebasing the capture's relative span times onto the
             dispatcher's clock.  Filled in by the dispatcher, never the
             worker (their monotonic clocks are unrelated).
+        dispatch_bytes: Pickled task size (filled by the dispatcher on
+            the process backend; 0 for in-process backends).
+        result_bytes: Pickled outcome size (likewise).
     """
 
     seconds: float
     payload: Any
     capture: Optional[obs.TaskCapture] = None
     collected_abs: float = 0.0
+    dispatch_bytes: int = 0
+    result_bytes: int = 0
 
 
 def _timed_call(
@@ -240,6 +262,28 @@ def _timed_call(
             capture.result,
         )
     return TaskOutcome(time.perf_counter() - start, value, capture.result)
+
+
+def _timed_call_packed(blob: bytes) -> bytes:
+    """Process-backend transport shim: bytes in, bytes out.
+
+    The dispatcher pickles ``(fn, item, label, attempt, span_ctx)`` once
+    and measures it; this shim runs the attempt and pickles the outcome
+    back, so both halves of the pickle tax are observable as exact byte
+    counts (:class:`TaskTiming`).  An unpicklable *result* is contained
+    here — replaced by an :class:`ExecutionError` outcome — instead of
+    poisoning the pool's result pipe.
+    """
+    fn, item, label, attempt, span_ctx = pickle.loads(blob)
+    outcome = _timed_call(fn, item, label, attempt, span_ctx)
+    try:
+        return pickle.dumps(outcome)
+    except Exception as exc:
+        contained = TaskOutcome(
+            outcome.seconds,
+            ExecutionError(label, type(exc).__name__, str(exc), traceback.format_exc()),
+        )
+        return pickle.dumps(contained)
 
 
 class ParallelExecutor:
@@ -390,7 +434,15 @@ class ParallelExecutor:
         for label, outcome in zip(labels, outcomes):
             payload = outcome.payload
             failed = isinstance(payload, ExecutionError)
-            timings.append(TaskTiming(label=label, seconds=outcome.seconds, ok=not failed))
+            timings.append(
+                TaskTiming(
+                    label=label,
+                    seconds=outcome.seconds,
+                    ok=not failed,
+                    dispatch_bytes=outcome.dispatch_bytes,
+                    result_bytes=outcome.result_bytes,
+                )
+            )
             results.append(payload)
             if failed and first_error is None:
                 first_error = payload
@@ -427,21 +479,50 @@ class ParallelExecutor:
         workers = self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(items)))
         pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        packed = self.backend == "process"
         outcomes: List[Optional[TaskOutcome]] = [None] * len(items)
+        dispatch_bytes: Dict[int, int] = {}
         with pool_cls(max_workers=workers) as pool:
             futures: Dict[Future, int] = {}
             for i, (item, label, ctx) in enumerate(zip(items, labels, contexts)):
-                futures[pool.submit(_timed_call, fn, item, label, attempt, ctx)] = i
+                if packed:
+                    # Pickle the task here, not inside the pool's feeder
+                    # thread, so the dispatch size is an exact number and
+                    # an unpicklable item is contained per-task.
+                    try:
+                        blob = pickle.dumps((fn, item, label, attempt, ctx))
+                    except Exception as exc:
+                        outcomes[i] = TaskOutcome(
+                            0.0,
+                            ExecutionError(
+                                label, type(exc).__name__, str(exc),
+                                traceback.format_exc(),
+                            ),
+                            collected_abs=time.perf_counter(),
+                        )
+                        continue
+                    dispatch_bytes[i] = len(blob)
+                    futures[pool.submit(_timed_call_packed, blob)] = i
+                else:
+                    futures[pool.submit(_timed_call, fn, item, label, attempt, ctx)] = i
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     i = futures[future]
                     try:
-                        outcomes[i] = future.result()
+                        raw = future.result()
+                        if packed:
+                            outcome = pickle.loads(raw)
+                            outcome.dispatch_bytes = dispatch_bytes.get(i, 0)
+                            outcome.result_bytes = len(raw)
+                            outcomes[i] = outcome
+                        else:
+                            outcomes[i] = raw
                     except Exception as exc:
-                        # Transport-level failure (e.g. an unpicklable
-                        # result): contain it like an in-task error.
+                        # Transport-level failure (e.g. a crashed worker
+                        # breaking the pool): contain it like an in-task
+                        # error.
                         outcomes[i] = TaskOutcome(
                             0.0,
                             ExecutionError(
@@ -450,6 +531,7 @@ class ParallelExecutor:
                                 str(exc),
                                 traceback.format_exc(),
                             ),
+                            dispatch_bytes=dispatch_bytes.get(i, 0),
                         )
                     outcomes[i].collected_abs = time.perf_counter()
         return outcomes

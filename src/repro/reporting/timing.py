@@ -57,10 +57,22 @@ def reset_phases() -> None:
 
 
 def render_timing_table(timings: Sequence[TaskTiming], title: str = "TASK TIMINGS") -> str:
-    """A per-task timing table, slowest first (stragglers on top)."""
-    table = TextTable(["task", "seconds", "status"], title=title)
+    """A per-task timing table, slowest first (stragglers on top).
+
+    The payload column shows each task's serialized traffic
+    (dispatch + result pickled bytes) — the direct view of what the
+    shared-memory transport removes.  In-process backends serialize
+    nothing, so the column reads 0.0 there.
+    """
+    table = TextTable(["task", "seconds", "payload KB", "status"], title=title)
     for timing in sorted(timings, key=lambda t: t.seconds, reverse=True):
-        table.add_row(timing.label, f"{timing.seconds:.3f}", "ok" if timing.ok else "FAILED")
+        payload = timing.dispatch_bytes + timing.result_bytes
+        table.add_row(
+            timing.label,
+            f"{timing.seconds:.3f}",
+            f"{payload / 1e3:.1f}",
+            "ok" if timing.ok else "FAILED",
+        )
     return table.render()
 
 
@@ -101,7 +113,13 @@ def timing_summary(
     task_s = sum(s.task_seconds for s in stats)
     retries = sum(getattr(s, "retries", 0) for s in stats)
     rows = [
-        {"label": t.label, "seconds": round(t.seconds, 6), "ok": t.ok}
+        {
+            "label": t.label,
+            "seconds": round(t.seconds, 6),
+            "ok": t.ok,
+            "dispatch_bytes": t.dispatch_bytes,
+            "result_bytes": t.result_bytes,
+        }
         for s in stats
         for t in s.timings
     ]
@@ -114,6 +132,8 @@ def timing_summary(
         "wall_seconds": round(wall_s, 6),
         "task_seconds": round(task_s, 6),
         "speedup": round(task_s / wall_s, 3) if wall_s > 0 else 1.0,
+        "dispatch_bytes": sum(r["dispatch_bytes"] for r in rows),
+        "result_bytes": sum(r["result_bytes"] for r in rows),
         "straggler": straggler,
         "timings": rows,
     }
@@ -200,4 +220,10 @@ def render_cache_table(summary: Dict[str, Any]) -> str:
         f"objects: {disk.get('objects', 0)} ({disk.get('total_bytes', 0) / 1e6:.1f} MB on disk)"
     )
     lines = [table.render(), "", f"root:    {summary.get('root', '?')}", objects_line]
+    columnar = summary.get("columnar")
+    if columnar is not None:
+        lines.append(
+            f"columnar: {columnar.get('tables', 0)} live tables "
+            f"({columnar.get('resident_bytes', 0) / 1e6:.1f} MB resident)"
+        )
     return "\n".join(lines)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.exec.executor import ParallelExecutor
+from repro.exec.executor import ParallelExecutor, default_executor
 from repro.spec.grid import GridPoint, GridSpec, enumerate_points
 from repro.spec.model import apply_to_scenario
 from repro.trace.records import WEEK_S
@@ -170,11 +170,19 @@ def run_grid(
     tasks = _point_tasks(points, scale, seed, duration_s, base_policy)
     flags = _warm_flags(tasks)
     warm = sum(flags)
+    executor = default_executor(executor)
+    batches_before = len(executor.stats)
     with obs.span("grid/run", base=grid.base, points=len(points),
-                  warm=warm, cold=len(points) - warm):
+                  warm=warm, cold=len(points) - warm) as active:
         rows = resolve_metric_rows(
             tasks, [f"{task[0].name}/{task[-1]}" for task in tasks], executor
         )
+        if active is not None:
+            # Serialized payload traffic of this grid's map batches — the
+            # term the shared-memory transport exists to remove.
+            batches = executor.stats[batches_before:]
+            active.attrs["dispatch_bytes"] = sum(s.dispatch_bytes for s in batches)
+            active.attrs["result_bytes"] = sum(s.result_bytes for s in batches)
     return GridRunResult(
         grid=grid,
         points=points,

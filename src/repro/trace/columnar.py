@@ -43,6 +43,7 @@ Exactness notes, because parity is a hard requirement:
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.trace.records import FlowRecord
@@ -214,7 +215,14 @@ class FlowTable:
     and fall back to iterating the records otherwise.
     """
 
-    __slots__ = ("records", "_cols", "_session_index", "_dst_unique", "_dst_code")
+    __slots__ = (
+        "records",
+        "_cols",
+        "_session_index",
+        "_dst_unique",
+        "_dst_code",
+        "__weakref__",
+    )
 
     def __init__(self, records: Union[Sequence[FlowRecord], Iterable[FlowRecord]]):
         self.records: List[FlowRecord] = (
@@ -224,6 +232,7 @@ class FlowTable:
         self._session_index: Optional[SessionIndex] = None
         self._dst_unique = None
         self._dst_code = None
+        _register_table(self)
 
     # ------------------------------------------------ sequence protocol
 
@@ -264,6 +273,56 @@ class FlowTable:
             )
             self._dst_code = code.astype(np.int64, copy=False)
         return self._dst_unique, self._dst_code
+
+    # ---------------------------------------------------- memory accounting
+
+    def nbytes(self) -> int:
+        """Bytes of columnar memory this table has materialised so far.
+
+        Counts only what actually exists — an un-materialised table
+        reports 0, and shared-memory attached tables report the mapped
+        column sizes — so ``repro cache stats`` shows resident columnar
+        memory, not a hypothetical.  The record objects themselves are
+        not counted (they are interpreter objects, not column storage).
+        """
+        total = 0
+        cols = self._cols
+        if cols is not None:
+            for name in _Columns.__slots__:
+                arr = getattr(cols, name, None)
+                if arr is not None:
+                    total += int(arr.nbytes)
+        if self._dst_unique is not None:
+            total += int(self._dst_unique.nbytes) + int(self._dst_code.nbytes)
+        idx = self._session_index
+        if idx is not None:
+            for name in SessionIndex.__slots__:
+                arr = getattr(idx, name, None)
+                if arr is not None:
+                    total += int(arr.nbytes)
+        return total
+
+
+#: Every live FlowTable in this process, for resident-memory accounting.
+_TABLES: "weakref.WeakSet[FlowTable]" = weakref.WeakSet()
+
+
+def _register_table(table: FlowTable) -> None:
+    _TABLES.add(table)
+
+
+def resident_columnar() -> Dict[str, int]:
+    """Resident columnar memory across all live tables in this process.
+
+    Returns:
+        ``{"tables": live table count, "resident_bytes": sum of nbytes()}``.
+        Backs the ``columnar:`` line of ``repro cache stats``.
+    """
+    tables = list(_TABLES)
+    return {
+        "tables": len(tables),
+        "resident_bytes": sum(t.nbytes() for t in tables),
+    }
 
 
 def active_table(records: Union[Sequence[FlowRecord], FlowTable]) -> Optional[FlowTable]:

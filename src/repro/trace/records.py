@@ -142,7 +142,7 @@ class Dataset:
         if (
             cached is None
             or source is not self.records
-            or len(cached.records) != len(self.records)
+            or len(cached) != len(self.records)
         ):
             cached = FlowTable(self.records)
             self.__dict__["_columnar"] = (self.records, cached)

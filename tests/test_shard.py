@@ -1,0 +1,520 @@
+"""Tests for the sharded scale-out layer (repro.shard).
+
+The load-bearing property is *byte parity*: a study partitioned into
+(vantage, time-window) shards, analyzed over shared-memory columns and
+merged, must reproduce the batch path's report text, session structure
+and content digests exactly — at any shard grain, on any executor
+backend, and with every shared-memory segment unlinked afterwards.
+"""
+
+from __future__ import annotations
+
+import gc
+import io
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.sessions import build_sessions
+from repro.exec.executor import ParallelExecutor
+from repro.faults import report as degradation
+from repro.faults.plan import clear_current_plan, set_current_plan, FaultPlan
+from repro.reporting.timing import render_timing_table, timing_summary
+from repro.shard import (
+    SegmentScope,
+    ShardKey,
+    attach_table,
+    live_segments,
+    merge_cdf_samples,
+    merge_grouped_sums,
+    merge_histograms,
+    merge_hourly,
+    merge_session_sizes,
+    merge_sessions,
+    merge_traffic,
+    partition_table,
+    publish_table,
+    session_partial,
+    shm_mode,
+)
+from repro.shard import shm as shm_mod
+from repro.shard.shm import ENV_SHM, InlineHandle, view_table
+from repro.shard.study import run_sharded_study
+from repro.sim.driver import clear_cache, run_all
+from repro.sim.multistudy import run_shared_studies
+from repro.stream.accumulators import HourlyShareAccumulator, TrafficAccumulator
+from repro.stream.events import StreamWindow
+from repro.stream.study import render_stream_report
+from repro.trace.columnar import FlowTable, resident_columnar
+from repro.trace.records import FlowRecord
+
+
+def flow(src=1, vid="V" * 11, t0=0.0, dur=1.0, nbytes=5000, dst=100):
+    return FlowRecord(
+        src_ip=src, dst_ip=dst, num_bytes=nbytes,
+        t_start=t0, t_end=t0 + dur, video_id=vid, resolution="360p",
+    )
+
+
+def sample_records(n=20):
+    """A small table: sorted t_start, several clients/videos/servers."""
+    return [
+        flow(src=1 + i % 3, vid=["A" * 11, "B" * 11][i % 2],
+             t0=float(i) * 7.0, dur=1.0 + i % 4, nbytes=1000 + i,
+             dst=100 + i % 2)
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------- partition
+
+
+class TestPartition:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            partition_table(FlowTable(sample_records()), 0.0, "d")
+        with pytest.raises(ValueError):
+            partition_table(FlowTable(sample_records()), -5.0, "d")
+
+    def test_unsorted_records_rejected(self):
+        records = [flow(t0=100.0), flow(t0=1.0)]
+        with pytest.raises(ValueError, match="sorted"):
+            partition_table(FlowTable(records), 60.0, "d")
+
+    def test_empty_table_yields_no_shards(self):
+        assert partition_table(FlowTable([]), 60.0, "d") == []
+
+    def test_shards_cover_rows_contiguously(self):
+        records = sample_records(30)  # t_start 0..203
+        table = FlowTable(records)
+        shards = partition_table(table, 50.0, "d")
+        assert shards[0].lo == 0 and shards[-1].hi == len(records)
+        for a, b in zip(shards, shards[1:]):
+            assert a.hi == b.lo  # contiguous, no overlap, no gap
+        for shard in shards:
+            for r in records[shard.lo:shard.hi]:
+                assert shard.key.t_lo <= r.t_start < shard.key.t_hi
+
+    def test_sparse_windows_are_skipped(self):
+        records = [flow(t0=1.0), flow(t0=500.0)]  # nothing in [60, 480)
+        shards = partition_table(FlowTable(records), 60.0, "d")
+        assert [s.key.index for s in shards] == [0, 8]
+        assert [len(s) for s in shards] == [1, 1]
+
+    def test_shard_key_identity(self):
+        shards = partition_table(FlowTable(sample_records()), 60.0, "US-Campus")
+        key = shards[0].key
+        assert key == ShardKey("US-Campus", 0, 0.0, 60.0)
+        assert key.label == "US-Campus/w0"
+        assert key.cache_fingerprint() == {
+            "dataset": "US-Campus", "index": 0, "t_lo": 0.0, "t_hi": 60.0,
+        }
+
+
+# ------------------------------------------------------------- merge: exact
+
+
+class TestMergeReductions:
+    def test_grouped_sums_exact_and_first_occurrence_ordered(self):
+        big = 2**62
+        parts = [{"b": big, "a": 1}, {"a": big, "c": 2}, {"b": 1}]
+        merged = merge_grouped_sums(parts)
+        assert merged == {"b": big + 1, "a": big + 1, "c": 2}
+        assert list(merged) == ["b", "a", "c"]  # first occurrence wins
+        assert all(isinstance(v, int) for v in merged.values())
+
+    def test_histograms_union_buckets(self):
+        merged = merge_histograms([{"1": 3, "2": 1}, {"2": 4, ">9": 2}])
+        assert merged == {"1": 3, "2": 5, ">9": 2}
+
+    def test_cdf_merge_equals_sorted_concatenation(self):
+        parts = [[1.0, 4.0, 9.0], [], [0.5, 4.0], [2.0]]
+        assert merge_cdf_samples(parts) == sorted(sum(parts, []))
+
+    def test_merge_hourly(self):
+        a, b = HourlyShareAccumulator(), HourlyShareAccumulator()
+        a._counts = {10: {0: 2, 1: 1}}
+        b._counts = {10: {1: 3}, 11: {5: 1}}
+        merged = merge_hourly([a, b])
+        assert merged._counts == {10: {0: 2, 1: 4}, 11: {5: 1}}
+
+    def test_merge_traffic_preserves_server_first_occurrence_order(self):
+        records = sample_records(24)
+        whole = TrafficAccumulator()
+        whole.observe_window(StreamWindow(0, 0.0, 1e9, FlowTable(records)))
+        cut = 10
+        parts = []
+        for chunk in (records[:cut], records[cut:]):
+            acc = TrafficAccumulator()
+            acc.observe_window(StreamWindow(0, 0.0, 1e9, FlowTable(chunk)))
+            parts.append(acc)
+        merged = merge_traffic(parts)
+        assert merged.flows == whole.flows
+        assert merged.total_bytes == whole.total_bytes
+        assert merged._clients == whole._clients
+        assert list(merged._servers) == list(whole._servers)
+        for ip in whole._servers:
+            m, w = merged._servers[ip], whole._servers[ip]
+            assert (m.num_bytes, m.num_flows, m.video_flows) == \
+                (w.num_bytes, w.num_flows, w.video_flows)
+
+
+# --------------------------------------------------- merge: session seams
+
+
+def time_chunks(records, window_s):
+    """Partition time-sorted records at tumbling-window boundaries."""
+    chunks, current, edge = [], [], window_s
+    for record in records:
+        while record.t_start >= edge:
+            if current:
+                chunks.append(current)
+                current = []
+            edge += window_s
+        current.append(record)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+session_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),        # client
+        st.integers(min_value=0, max_value=2),        # video index
+        st.floats(min_value=0.0, max_value=500.0),    # start
+        st.floats(min_value=0.1, max_value=40.0),     # duration
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSessionStitching:
+    @given(session_rows,
+           st.floats(min_value=0.5, max_value=30.0),   # gap
+           st.floats(min_value=5.0, max_value=120.0))  # shard window
+    @settings(max_examples=60, deadline=None)
+    def test_merge_sessions_equals_whole_dataset_build(self, rows, gap, window):
+        """Stitching any window partition reproduces the batch sessions."""
+        videos = ["A" * 11, "B" * 11, "C" * 11]
+        records = sorted(
+            (flow(src=c, vid=videos[v], t0=t0, dur=dur) for c, v, t0, dur in rows),
+            key=lambda r: (r.t_start, r.t_end),
+        )
+        whole = build_sessions(records, gap_s=gap)
+        chunks = time_chunks(records, window)
+        merged = merge_sessions(
+            [build_sessions(chunk, gap_s=gap) for chunk in chunks], gap_s=gap
+        )
+        assert merged == whole
+        assert [s.flows for s in merged] == [s.flows for s in whole]
+
+    @given(session_rows,
+           st.floats(min_value=0.5, max_value=30.0),
+           st.floats(min_value=5.0, max_value=120.0))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_session_sizes_matches_batch_both_kernels(
+        self, rows, gap, window
+    ):
+        videos = ["A" * 11, "B" * 11, "C" * 11]
+        records = sorted(
+            (flow(src=c, vid=videos[v], t0=t0, dur=dur) for c, v, t0, dur in rows),
+            key=lambda r: (r.t_start, r.t_end),
+        )
+        expected = [s.num_flows for s in build_sessions(records, gap_s=gap)]
+        chunks = time_chunks(records, window)
+        python_partials = [session_partial(chunk, gap) for chunk in chunks]
+        numpy_partials = [session_partial(FlowTable(chunk), gap) for chunk in chunks]
+        assert merge_session_sizes(python_partials, gap) == expected
+        assert merge_session_sizes(numpy_partials, gap) == expected
+
+    def test_session_partial_gap_validation(self):
+        with pytest.raises(ValueError):
+            session_partial(sample_records(), 0.0)
+
+    def test_pass_through_sessions_are_shared_not_copied(self):
+        records = [flow(t0=0.0), flow(t0=1000.0)]
+        shard_sessions = [build_sessions(records[:1], gap_s=1.0),
+                          build_sessions(records[1:], gap_s=1.0)]
+        merged = merge_sessions(shard_sessions, gap_s=1.0)
+        assert merged[0] is shard_sessions[0][0]
+        assert merged[1] is shard_sessions[1][0]
+
+
+# -------------------------------------------------------------- shm transport
+
+
+class TestShmTransport:
+    def test_mode_parsing(self, monkeypatch):
+        monkeypatch.setenv(ENV_SHM, "bogus")
+        with pytest.raises(ValueError):
+            shm_mode()
+        monkeypatch.setenv(ENV_SHM, "off")
+        assert shm_mode() == "off"
+        monkeypatch.delenv(ENV_SHM)
+        assert shm_mode() in ("shm", "file")
+
+    @pytest.mark.parametrize("mode", ["shm", "file"])
+    def test_segment_round_trip_is_exact(self, mode, monkeypatch):
+        monkeypatch.setenv(ENV_SHM, mode)
+        records = sample_records(25)
+        table = FlowTable(records)
+        with SegmentScope() as scope:
+            handle = publish_table(table, name=scope.name_for("t"))
+            assert handle.mode == mode and handle.rows == len(records)
+            # Same-process attach is a no-op view: the original object.
+            assert attach_table(handle) is table
+            # Emulate a foreign process: hide the publisher's table so
+            # attach decodes the segment bytes through the mapped buffer.
+            shm_mod._LIVE[handle.name].table = None
+            attached = attach_table(handle)
+            assert attached is not table
+            assert len(attached) == len(records)
+            assert list(attached.records) == records
+            shm_mod._LIVE[handle.name].table = table
+            del attached
+            gc.collect()
+        assert live_segments() == []
+
+    def test_off_mode_degrades_to_inline_records(self, monkeypatch):
+        monkeypatch.setenv(ENV_SHM, "off")
+        records = sample_records(8)
+        with SegmentScope() as scope:
+            handle = publish_table(FlowTable(records), name=scope.name_for("t"))
+            assert isinstance(handle, InlineHandle)
+            attached = attach_table(handle)
+            assert isinstance(attached, FlowTable)
+            assert list(attached.records) == records
+        assert live_segments() == []
+
+    def test_view_table_slices_zero_copy(self):
+        records = sample_records(12)
+        view = view_table(FlowTable(records), 3, 9)
+        assert len(view) == 6
+        assert list(view.records) == records[3:9]
+
+    def test_scope_unlinks_on_exception(self):
+        name_holder = {}
+        with pytest.raises(RuntimeError):
+            with SegmentScope() as scope:
+                name = scope.name_for("crash")
+                name_holder["name"] = name
+                publish_table(FlowTable(sample_records()), name=name)
+                raise RuntimeError("worker crashed mid-fan-out")
+        assert live_segments() == []
+        name = name_holder["name"]
+        if os.path.isabs(name):
+            assert not os.path.exists(name)
+        else:
+            assert not os.path.exists(os.path.join("/dev/shm", name))
+
+    def test_scope_tolerates_never_published_names(self):
+        with SegmentScope() as scope:
+            scope.name_for("task-that-never-ran")
+        assert live_segments() == []
+
+    def test_nbytes_and_resident_columnar(self):
+        table = FlowTable(sample_records())
+        assert table.nbytes() == 0  # nothing materialised yet
+        table.columns()
+        resident = table.nbytes()
+        assert resident > 0
+        table.session_index()
+        assert table.nbytes() > resident  # index arrays count too
+        summary = resident_columnar()
+        assert summary["tables"] >= 1
+        assert summary["resident_bytes"] >= table.nbytes()
+
+
+# ------------------------------------------------------ executor payload bytes
+
+
+def _double(x):
+    return x * 2
+
+
+class TestPayloadBytes:
+    def test_in_process_backends_serialize_nothing(self):
+        for backend in ("serial", "thread"):
+            executor = ParallelExecutor(backend, max_workers=2)
+            assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+            stats = executor.stats[-1]
+            assert stats.dispatch_bytes == 0
+            assert stats.result_bytes == 0
+
+    def test_process_backend_measures_both_directions(self):
+        executor = ParallelExecutor("process", max_workers=2)
+        assert executor.map(_double, ["x", "y", "z"]) == ["xx", "yy", "zz"]
+        stats = executor.stats[-1]
+        assert stats.dispatch_bytes > 0
+        assert stats.result_bytes > 0
+        for timing in stats.timings:
+            assert timing.dispatch_bytes > 0
+            assert timing.result_bytes > 0
+
+    def test_timing_summary_carries_payload_totals(self):
+        executor = ParallelExecutor("process", max_workers=2)
+        executor.map(_double, [1, 2, 3])
+        summary = timing_summary(executor.stats)
+        assert summary["dispatch_bytes"] == sum(
+            r["dispatch_bytes"] for r in summary["timings"]
+        ) > 0
+        assert summary["result_bytes"] == sum(
+            r["result_bytes"] for r in summary["timings"]
+        ) > 0
+        table = render_timing_table(executor.stats[-1].timings)
+        assert "payload KB" in table
+
+
+# --------------------------------------------------------- study byte parity
+
+
+@pytest.fixture(scope="module")
+def sharded_baseline():
+    """Serial sharded study at a small scale: (report text, digests)."""
+    study = run_sharded_study(scale=0.004, seed=7, landmark_count=40)
+    return render_stream_report(study), study.digests()
+
+
+class TestShardedStudyParity:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_sharded_study_is_byte_identical_at_two_grains(self, tmp_path):
+        base_args = ("study", "--scale", "0.004", "--landmarks", "40",
+                     "--digests")
+        code, batch = self.run_cli(*base_args)
+        assert code == 0
+        stats_path = tmp_path / "shard_stats.json"
+        os.environ["REPRO_SHARD_STATS"] = str(stats_path)
+        try:
+            for window in ("86400", "7200"):
+                code, sharded = self.run_cli(*base_args, "--sharded",
+                                             "--shard-window-s", window)
+                assert code == 0
+                assert sharded == batch
+        finally:
+            del os.environ["REPRO_SHARD_STATS"]
+        stats = json.loads(stats_path.read_text())
+        assert set(stats) >= {"shard_window_s", "peak_rss_kb", "datasets",
+                              "dispatch_bytes", "result_bytes"}
+        assert len(stats["datasets"]) == 5
+        assert live_segments() == []
+
+    def test_sharded_rejects_batch_only_flags(self):
+        for flag in ("--full", "--validate", "--shared"):
+            code, text = self.run_cli("study", "--sharded", flag,
+                                      "--scale", "0.004", "--landmarks", "40")
+            assert code == 2
+            assert text == ""
+        code, text = self.run_cli("study", "--sharded", "--stream",
+                                  "--scale", "0.004")
+        assert code == 2
+        assert text == ""
+
+    def test_thread_backend_matches_serial(self, sharded_baseline):
+        text, digests = sharded_baseline
+        study = run_sharded_study(
+            scale=0.004, seed=7, landmark_count=40,
+            executor=ParallelExecutor("thread", max_workers=2),
+        )
+        assert render_stream_report(study) == text
+        assert study.digests() == digests
+        assert live_segments() == []
+
+    def test_process_backend_matches_serial(self, sharded_baseline):
+        text, digests = sharded_baseline
+        study = run_sharded_study(
+            scale=0.004, seed=7, landmark_count=40,
+            executor=ParallelExecutor("process", max_workers=2),
+        )
+        assert render_stream_report(study) == text
+        assert study.digests() == digests
+        del study
+        gc.collect()
+        assert live_segments() == []
+
+    def test_shard_window_validation(self):
+        with pytest.raises(ValueError):
+            run_sharded_study(scale=0.004, shard_window_s=0.0)
+
+    def test_task_crash_plan_leaves_no_segments(self, sharded_baseline):
+        """Satellite 6: injected worker crashes never leak segments."""
+        text, digests = sharded_baseline
+        degradation.reset()
+        set_current_plan(FaultPlan(seed=3, task_crash=1.0,
+                                   max_failures_per_task=2))
+        try:
+            study = run_sharded_study(scale=0.004, seed=7, landmark_count=40)
+            assert render_stream_report(study) == text
+            assert study.digests() == digests
+        finally:
+            clear_current_plan()
+            degradation.reset()
+        assert live_segments() == []
+
+
+class TestShardedGoldenDigests:
+    def test_sharded_digests_match_golden_fixture(self):
+        """The golden study digests hold on the sharded path too."""
+        from pathlib import Path
+
+        golden = Path(__file__).parent / "golden" / "study_scale_0.01.digests"
+        expected = {
+            line.split()[1]: line.split()[2]
+            for line in golden.read_text(encoding="ascii").splitlines()
+            if line.strip()
+        }
+        study = run_sharded_study(scale=0.01, seed=7, landmark_count=40)
+        assert study.digests() == expected
+
+
+# --------------------------------------------------------- transport wiring
+
+
+class TestShmTransportWiring:
+    def test_run_all_shm_transport_matches_plain(self):
+        clear_cache()
+        try:
+            plain = run_all(scale=0.004, seed=7)
+            digests = {n: r.dataset.content_digest() for n, r in plain.items()}
+            clear_cache()
+            shm = run_all(scale=0.004, seed=7, transport="shm")
+            assert {n: r.dataset.content_digest() for n, r in shm.items()} \
+                == digests
+            for name in plain:
+                assert list(plain[name].dataset.records) \
+                    == list(shm[name].dataset.records)
+            del plain, shm
+        finally:
+            clear_cache()
+        gc.collect()
+        assert live_segments() == []
+
+    def test_run_all_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_all(scale=0.004, transport="carrier-pigeon")
+
+    def test_run_shared_studies_shm_transport_matches_plain(self):
+        configs = [{"scale": 0.002, "seed": 7, "duration_s": 21600.0}]
+        plain = run_shared_studies(configs, executor=ParallelExecutor("serial"))
+        shm = run_shared_studies(configs, executor=ParallelExecutor("serial"),
+                                 transport="shm")
+        for p, s in zip(plain, shm):
+            assert set(p) == set(s)
+            for name in p:
+                assert p[name].dataset.content_digest() \
+                    == s[name].dataset.content_digest()
+        del plain, shm
+        gc.collect()
+        assert live_segments() == []
+
+    def test_run_shared_studies_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_shared_studies([{"scale": 0.002}], transport="bogus")
