@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Refresh the golden digest fixture after an intentional behaviour change.
+# Refresh the golden digest fixtures after an intentional behaviour change.
 #
 # Re-runs the paper study at the pinned scale/seed and rewrites
-# tests/golden/study_scale_0.01.digests with the new per-dataset content
-# digests.  Review the diff before committing: every changed line is a
-# claim that the simulator's output was *meant* to change.
+# tests/golden/study_scale_0.01.digests (the baseline preferred-policy
+# study) plus one tests/golden/study_<policy>_0.01.digests file per
+# registered selection policy.  Review the diff before committing: every
+# changed line is a claim that the simulator's output was *meant* to
+# change.  The preferred per-policy file must stay byte-identical to the
+# baseline file — the script fails if they diverge.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,3 +20,24 @@ mv "$OUT.tmp" "$OUT"
 
 echo "updated $OUT:"
 cat "$OUT"
+
+POLICIES=$(PYTHONPATH=src python -c \
+    'from repro.cdn.selection import registered_policy_kinds
+print("\n".join(registered_policy_kinds()))')
+
+for policy in $POLICIES; do
+    POUT="tests/golden/study_${policy}_0.01.digests"
+    # `repro eval --digests` emits "digest <policy> <dataset> <sha256>";
+    # the fixture stores "digest <dataset> <sha256>".
+    PYTHONPATH=src REPRO_CACHE=off python -m repro eval --scale 0.01 --seed 7 \
+        --policy "$policy" --digests | grep '^digest ' \
+        | awk '{print $1, $3, $4}' > "$POUT.tmp"
+    mv "$POUT.tmp" "$POUT"
+    echo "updated $POUT"
+done
+
+# The preferred policy IS the baseline study; the fixtures must agree.
+if ! diff -q "$OUT" tests/golden/study_preferred_0.01.digests > /dev/null; then
+    echo "ERROR: study_preferred_0.01.digests diverged from $OUT" >&2
+    exit 1
+fi

@@ -1,11 +1,11 @@
-"""DNS-level server selection policies.
+"""DNS-level server selection policies and the pluggable policy registry.
 
 This is the first of the paper's two selection mechanisms (Section VI):
 "The first is based on DNS resolution which returns the server IP address in
 a data center".  The policy sees *which local resolver* is asking and decides
 which data center's server to hand back.
 
-Two policies are provided:
+Two policies live here:
 
 * :class:`PreferredDcPolicy` — the "new" (2010) YouTube behaviour the paper
   infers: each resolver has a preferred (lowest-RTT) data center, but the
@@ -19,13 +19,24 @@ Two policies are provided:
 * :class:`ProportionalPolicy` — the "old" pre-Google behaviour reported by
   Adhikari et al.: requests go to data centers proportionally to data-center
   size, ignoring the client's location.  Kept as the ablation baseline.
+
+Selection strategies from the wider literature (Go-With-The-Winner, ISP
+traffic engineering, routing-aware partitioning) live in
+:mod:`repro.cdn.policies`.  All of them — including the two above — are
+reachable through the **policy registry**: :func:`register_policy` binds a
+kind string to a factory over a :class:`PolicyContext`, and
+:func:`make_policy` is the single constructor every world builder goes
+through.  :func:`registered_policy_kinds` is the authoritative list the
+spec layer, the grid axis validation and the CLI all consult, so adding a
+policy here makes it a first-class ``policy`` value everywhere at once.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cdn.datacenter import ContentServer, DataCenterDirectory
 from repro.net.dns import Answer
@@ -66,6 +77,24 @@ class SelectionPolicy(abc.ABC):
     @abc.abstractmethod
     def ranking_for(self, resolver_id: str) -> List[str]:
         """The resolver's data-center preference order (best first)."""
+
+    def preferred_now(self, resolver_id: str, now_s: float) -> str:
+        """The data center this policy *intends* for a resolver right now.
+
+        This is the simulator-side ground truth the attribution scorer
+        (:mod:`repro.eval.attribution`) compares the blind pipeline's
+        preferred-DC inference against.  The default — the head of the
+        resolver's ranking — is right for every ranking-driven policy;
+        time-varying policies (the mid-week shift of
+        :class:`repro.cdn.policies.IspTrafficEngineeringPolicy`) override
+        it.  Implementations MUST NOT consume policy randomness: ground
+        truth is an observation, and observing it must never change what
+        a simulated week does.
+
+        Raises:
+            KeyError: If the resolver has no configured ranking.
+        """
+        return self.ranking_for(resolver_id)[0]
 
     def server_for_shard(self, dc_id: str, shard: int) -> ContentServer:
         """The data center's server responsible for a name shard.
@@ -141,6 +170,13 @@ class PreferredDcPolicy(SelectionPolicy):
     def preferred_dc(self, resolver_id: str) -> str:
         """The resolver's preferred data center."""
         return self.ranking_for(resolver_id)[0]
+
+    def preferred_now(self, resolver_id: str, now_s: float) -> str:
+        """Head of the resolver's ranking (no copy — called per request)."""
+        ranking = self._rankings.get(resolver_id)
+        if ranking is None:
+            raise KeyError(f"no ranking configured for resolver {resolver_id!r}")
+        return ranking[0]
 
     def _budget_left(self, dc_id: str, now_s: float) -> bool:
         cap = self._capacity.get(dc_id)
@@ -220,6 +256,10 @@ class ProportionalPolicy(SelectionPolicy):
         """Size-descending order — the old policy has no locality."""
         return list(self._by_size)
 
+    def preferred_now(self, resolver_id: str, now_s: float) -> str:
+        """The largest data center (every resolver's ranking head)."""
+        return self._by_size[0]
+
     def select_dc(self, resolver_id: str, now_s: float) -> str:
         """Sample a data center proportionally to its size."""
         u = self._rng.random()
@@ -227,3 +267,140 @@ class ProportionalPolicy(SelectionPolicy):
             if u <= threshold:
                 return dc_id
         return self._ids[-1]
+
+
+# --------------------------------------------------------------------------
+# The policy registry
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a world builder hands a policy factory.
+
+    One context serves every registered kind: factories pick the fields
+    they need and ignore the rest, so adding a policy never changes the
+    :func:`repro.sim.scenarios.build_world` call site.
+
+    Attributes:
+        directory: All data centers of the world.
+        rankings: Per-resolver preference order, best first.  Already
+            reflects the scenario's ranking basis (RTT, or distance for
+            the ``"geographic"`` kind) and its divergent-resolver
+            overrides.
+        eligible: DNS-eligible data-center IDs (ranking universe).
+        rtt_ms: Vantage-to-data-center floor RTTs — the link-cost signal
+            racing and traffic-engineering policies steer on.
+        dns_capacity_per_hour: Per-data-center hourly assignment caps.
+        spill_probability: Background non-preferred spill probability.
+        seed: Policy RNG seed (already derived per scenario).
+        ttl_s: TTL of the policy's DNS answers.
+        duration_s: Simulation window — lets time-varying policies place
+            epoch boundaries (e.g. a mid-week steering shift).
+    """
+
+    directory: DataCenterDirectory
+    rankings: Mapping[str, Sequence[str]]
+    eligible: Tuple[str, ...]
+    rtt_ms: Mapping[str, float] = field(default_factory=dict)
+    dns_capacity_per_hour: Mapping[str, float] = field(default_factory=dict)
+    spill_probability: float = 0.0
+    seed: int = 0
+    ttl_s: float = DEFAULT_TTL_S
+    duration_s: float = 7 * 86400.0
+
+
+PolicyFactory = Callable[[PolicyContext], SelectionPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+class UnknownPolicyError(ValueError):
+    """Raised for a policy kind no factory is registered under."""
+
+    def __init__(self, kind: object):
+        self.kind = kind
+        super().__init__(
+            f"unknown policy {kind!r}; registered policies: "
+            f"{', '.join(registered_policy_kinds())}"
+        )
+
+
+def register_policy(kind: str) -> Callable[[PolicyFactory], PolicyFactory]:
+    """Class/function decorator binding a kind string to a policy factory.
+
+    Raises:
+        ValueError: If the kind is empty or already registered.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"policy kind must be a non-empty string, got {kind!r}")
+
+    def decorate(factory: PolicyFactory) -> PolicyFactory:
+        if kind in _REGISTRY:
+            raise ValueError(f"policy kind {kind!r} is already registered")
+        _REGISTRY[kind] = factory
+        return factory
+
+    return decorate
+
+
+def _ensure_builtin_policies() -> None:
+    # The literature policies register on import; importing lazily keeps
+    # this module cycle-free (policies.py subclasses PreferredDcPolicy).
+    import repro.cdn.policies  # noqa: F401
+
+
+def registered_policy_kinds() -> Tuple[str, ...]:
+    """Every registered policy kind, sorted (the spec/CLI vocabulary)."""
+    _ensure_builtin_policies()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_policy(kind: str, context: PolicyContext) -> SelectionPolicy:
+    """Construct a policy by registered kind.
+
+    Raises:
+        UnknownPolicyError: For unregistered kinds (a :class:`ValueError`;
+            the message names every registered policy).
+    """
+    _ensure_builtin_policies()
+    factory = _REGISTRY.get(kind)
+    if factory is None:
+        raise UnknownPolicyError(kind)
+    return factory(context)
+
+
+@register_policy("preferred")
+def _make_preferred(context: PolicyContext) -> PreferredDcPolicy:
+    """The paper's inferred policy (RTT-ranked rankings)."""
+    return PreferredDcPolicy(
+        directory=context.directory,
+        rankings=dict(context.rankings),
+        dns_capacity_per_hour=dict(context.dns_capacity_per_hour),
+        spill_probability=context.spill_probability,
+        seed=context.seed,
+        ttl_s=context.ttl_s,
+    )
+
+
+@register_policy("geographic")
+def _make_geographic(context: PolicyContext) -> PreferredDcPolicy:
+    """Distance-ranked ablation: same mechanism, distance-ordered rankings.
+
+    The ranking basis is chosen by the world builder (it computes the
+    context's rankings from great-circle distance for this kind), so the
+    factory is the preferred one under another name.
+    """
+    return _make_preferred(context)
+
+
+@register_policy("proportional")
+def _make_proportional(context: PolicyContext) -> ProportionalPolicy:
+    """Old-infrastructure ablation (size-proportional, no locality)."""
+    # Keeps the historical default TTL (not the scenario's) — the answers
+    # of the pre-Google infrastructure were not under YouTube's control.
+    return ProportionalPolicy(
+        directory=context.directory,
+        eligible=list(context.eligible),
+        seed=context.seed,
+    )

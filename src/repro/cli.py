@@ -33,6 +33,7 @@ from repro.core.geography import render_table3
 from repro.core.pipeline import StudyPipeline
 from repro.core.sessions import flows_per_session_histogram, build_sessions
 from repro.core.summary import render_table1
+from repro.cdn.selection import registered_policy_kinds
 from repro.sim.driver import run_all, run_scenario
 from repro.trace.columnar import KERNELS_ENV
 from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, build_world
@@ -106,7 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="simulate one dataset and write a flow log")
     p_sim.add_argument("--dataset", choices=DATASET_NAMES, required=True)
     p_sim.add_argument("--out", required=True, help="output flow-log path (TSV)")
-    p_sim.add_argument("--policy", choices=("preferred", "proportional"), default="preferred")
+    p_sim.add_argument(
+        "--policy", choices=registered_policy_kinds(), default="preferred",
+        help="selection policy the simulated CDN runs (default preferred)",
+    )
     p_sim.add_argument("--duration-days", type=float, default=7.0)
     _add_common(p_sim)
 
@@ -114,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument(
         "--landmarks", type=int, default=120,
         help="CBG landmark budget (default 120; max 215)",
+    )
+    p_study.add_argument(
+        "--policy", choices=registered_policy_kinds(), default="preferred",
+        help="selection policy every simulated world runs "
+        "(default preferred; batch path only)",
     )
     p_study.add_argument(
         "--shared", action="store_true",
@@ -164,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
         "yields the same bytes)",
     )
     _add_common(p_study)
+
+    p_eval = sub.add_parser(
+        "eval",
+        help="score the blind methodology against simulator ground truth",
+    )
+    p_eval.add_argument(
+        "--policy", default="preferred", metavar="KIND[,KIND...]",
+        help="comma-separated selection-policy kinds to evaluate "
+        f"(registered: {', '.join(registered_policy_kinds())})",
+    )
+    p_eval.add_argument(
+        "--landmarks", type=int, default=60,
+        help="CBG landmark budget (default 60; max 215)",
+    )
+    p_eval.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output (one JSON document over all policies)",
+    )
+    p_eval.add_argument(
+        "--digests", action="store_true",
+        help="append one 'digest <policy> <dataset> <sha256>' line per "
+        "dataset (byte-identity checks across runs)",
+    )
+    _add_common(p_eval)
 
     p_sessions = sub.add_parser("sessions", help="session analysis of a flow log")
     p_sessions.add_argument("--flows", required=True, help="flow-log path")
@@ -369,7 +402,10 @@ def _render_study(args: argparse.Namespace):
 
         results = run_shared_study(scale=args.scale, seed=args.seed, executor=executor)
     else:
-        results = run_all(scale=args.scale, seed=args.seed, executor=executor)
+        results = run_all(
+            scale=args.scale, seed=args.seed, executor=executor,
+            policy_kind=getattr(args, "policy", "preferred"),
+        )
     landmark_count = None if args.landmarks >= 215 else args.landmarks
     pipeline = StudyPipeline(results, landmark_count=landmark_count, executor=executor)
     if args.full:
@@ -482,6 +518,16 @@ def cmd_study(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.policy != "preferred" and (args.stream or args.sharded or args.shared):
+        # The streamed/sharded paths and the shared multi-study build their
+        # worlds internally and run the baseline policy only; a non-default
+        # --policy there would silently evaluate the wrong mechanism.
+        print(
+            f"repro study --policy {args.policy} requires the batch "
+            "independent-worlds path; drop --stream/--sharded/--shared.",
+            file=sys.stderr,
+        )
+        return 2
     strategy = "--stream" if args.stream else "--sharded" if args.sharded else None
     unsupported = [
         flag
@@ -519,6 +565,7 @@ def cmd_study(args: argparse.Namespace, out) -> int:
             "scale": args.scale,
             "seed": args.seed,
             "landmarks": args.landmarks,
+            "policy": args.policy,
             "shared": bool(args.shared),
             "full": bool(args.full),
             "validate": bool(args.validate),
@@ -546,6 +593,53 @@ def cmd_study(args: argparse.Namespace, out) -> int:
 
         print("", file=out)
         print(render_degradation_table(degradation.collect()), file=out)
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace, out) -> int:
+    from repro.eval.attribution import evaluate_policy, render_attribution
+
+    kinds = tuple(k.strip() for k in args.policy.split(",") if k.strip())
+    if not kinds:
+        print("repro eval: --policy names no policies", file=sys.stderr)
+        return 2
+    registered = registered_policy_kinds()
+    unknown = [k for k in kinds if k not in registered]
+    if unknown:
+        # Fail before any five-week simulation starts.
+        print(
+            f"unknown policy {unknown[0]!r}; registered policies: "
+            f"{', '.join(registered)}",
+            file=sys.stderr,
+        )
+        return 2
+    executor = executor_from_args(args)
+    landmark_count = None if args.landmarks >= 215 else args.landmarks
+    evaluations = [
+        evaluate_policy(
+            kind, scale=args.scale, seed=args.seed,
+            landmark_count=landmark_count, executor=executor,
+        )
+        for kind in kinds
+    ]
+    if args.as_json:
+        import json
+
+        document = {ev.policy_kind: ev.as_dict() for ev in evaluations}
+        print(json.dumps(document, sort_keys=True, indent=2), file=out)
+    else:
+        for index, evaluation in enumerate(evaluations):
+            if index:
+                print("", file=out)
+            print(render_attribution(evaluation), file=out)
+    if args.digests:
+        for evaluation in evaluations:
+            for name in sorted(evaluation.digests):
+                print(
+                    f"digest {evaluation.policy_kind} {name} "
+                    f"{evaluation.digests[name]}",
+                    file=out,
+                )
     return 0
 
 
@@ -945,6 +1039,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
 _COMMANDS = {
     "simulate": cmd_simulate,
     "study": cmd_study,
+    "eval": cmd_eval,
     "sessions": cmd_sessions,
     "coldvideo": cmd_coldvideo,
     "whatif": cmd_whatif,

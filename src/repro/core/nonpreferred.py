@@ -345,6 +345,56 @@ def multi_flow_breakdown(
     )
 
 
+#: Blind per-session verdict labels (shared vocabulary with the simulator
+#: ground truth in :mod:`repro.sim.engine` — same strings by design, so
+#: the attribution scorer's confusion matrix needs no translation).
+VERDICT_PREFERRED = "preferred"
+VERDICT_DNS = "dns"
+VERDICT_REDIRECTION = "redirection"
+
+
+def session_verdicts(
+    sessions: Sequence[Session],
+    report: PreferredDcReport,
+    server_map: ServerMap,
+) -> List[Optional[str]]:
+    """Per-session blind attribution verdicts (the Figure 10 logic).
+
+    For each session, using only what the measurement pipeline can see
+    (cluster labels and the inferred preferred data center):
+
+    * first flow to a non-preferred cluster → :data:`VERDICT_DNS`
+      (the DNS answer itself sent the session away);
+    * first flow preferred but a later flow non-preferred →
+      :data:`VERDICT_REDIRECTION` (application-layer redirect);
+    * every flow preferred → :data:`VERDICT_PREFERRED`;
+    * ``None`` when the verdict is undecidable — the first flow's server
+      is unclustered, or all later flows needed for the preferred verdict
+      are unclustered.
+
+    Returns:
+        One verdict per session, parallel to ``sessions``.
+    """
+    test = _preferred_test(report, server_map)
+    verdicts: List[Optional[str]] = []
+    for session in sessions:
+        first = test(session.first_flow.dst_ip)
+        if first is None:
+            verdicts.append(None)
+            continue
+        if first is False:
+            verdicts.append(VERDICT_DNS)
+            continue
+        later = [test(flow.dst_ip) for flow in session.flows[1:]]
+        if any(v is False for v in later):
+            verdicts.append(VERDICT_REDIRECTION)
+        elif any(v is None for v in later):
+            verdicts.append(None)
+        else:
+            verdicts.append(VERDICT_PREFERRED)
+    return verdicts
+
+
 def dns_vs_redirection_shares(
     sessions: Sequence[Session],
     report: PreferredDcReport,

@@ -349,6 +349,17 @@ class StudyPipeline:
             self.sessions[name], self.preferred_reports[name], self.server_map
         )
 
+    def session_verdicts(self, name: str) -> List[Optional[str]]:
+        """Blind per-session attribution verdicts for one dataset.
+
+        Parallel to :attr:`sessions` ``[name]``; what the ground-truth
+        scorer (:mod:`repro.eval.attribution`) grades.  Uses measurement
+        data only — simulator ground truth never enters the pipeline.
+        """
+        return nonpreferred.session_verdicts(
+            self.sessions[name], self.preferred_reports[name], self.server_map
+        )
+
     def multi_flow_breakdown(
         self, name: str, min_flows: int = 3
     ) -> nonpreferred.MultiFlowBreakdown:

@@ -31,6 +31,80 @@ _MAX_PERF_SAMPLES = 50_000
 #: engine entry point and by the cache keys over them).
 DEFAULT_MISS_PROBABILITY = 0.002
 
+#: Ground-truth attribution labels, mirroring the blind pipeline's
+#: three-way verdict (:func:`repro.core.nonpreferred.session_verdicts`).
+TRUTH_PREFERRED = "preferred"
+TRUTH_DNS = "dns"
+TRUTH_REDIRECTION = "redirection"
+
+#: All truth labels, in confusion-matrix display order.
+TRUTH_LABELS: Tuple[str, ...] = (TRUTH_PREFERRED, TRUTH_DNS, TRUTH_REDIRECTION)
+
+
+@dataclass
+class GroundTruthLog:
+    """Per-request ground truth the attribution scorer grades against.
+
+    Parallel lists, one entry per processed request (compact to pickle —
+    the log rides inside every cached :class:`SimulationResult`).  The
+    ``anchor`` of a request is the policy's intended data center for the
+    vantage point's reference resolver at that moment
+    (:meth:`~repro.cdn.selection.SelectionPolicy.preferred_now`), i.e.
+    the simulator-side counterpart of the blind pipeline's one inferred
+    preferred data center per dataset.
+
+    Attributes:
+        client_ips: Requesting client address per request.
+        video_ids: Requested video per request.
+        t_s: Request time per request.
+        anchor_dcs: The anchor (intended/preferred) data center.
+        dns_dcs: Data center the DNS answer actually pointed at.
+        served_dcs: Data center that finally served the video.
+        labels: Attribution label: :data:`TRUTH_DNS` when the DNS answer
+            itself left the anchor, :data:`TRUTH_REDIRECTION` when DNS
+            agreed with the anchor but the redirect chain left it,
+            :data:`TRUTH_PREFERRED` otherwise.
+    """
+
+    client_ips: List[int] = field(default_factory=list)
+    video_ids: List[str] = field(default_factory=list)
+    t_s: List[float] = field(default_factory=list)
+    anchor_dcs: List[str] = field(default_factory=list)
+    dns_dcs: List[str] = field(default_factory=list)
+    served_dcs: List[str] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def append(
+        self,
+        client_ip: int,
+        video_id: str,
+        t_s: float,
+        anchor_dc: str,
+        dns_dc: str,
+        chain_dcs: Sequence[str],
+    ) -> None:
+        """Record one request's truth (label derived, no randomness)."""
+        if dns_dc != anchor_dc:
+            label = TRUTH_DNS
+        elif any(dc_id != anchor_dc for dc_id in chain_dcs):
+            label = TRUTH_REDIRECTION
+        else:
+            label = TRUTH_PREFERRED
+        self.client_ips.append(client_ip)
+        self.video_ids.append(video_id)
+        self.t_s.append(t_s)
+        self.anchor_dcs.append(anchor_dc)
+        self.dns_dcs.append(dns_dc)
+        self.served_dcs.append(chain_dcs[-1] if chain_dcs else dns_dc)
+        self.labels.append(label)
+
+    def label_counts(self) -> Counter:
+        """Tally of the three truth labels."""
+        return Counter(self.labels)
+
 
 @dataclass
 class SimulationResult:
@@ -50,6 +124,10 @@ class SimulationResult:
             user-performance metric what-if comparisons report.
         serving_rtt_samples: Floor RTT (ms) between each client and the
             server that delivered its video.
+        truth: Per-request attribution ground truth
+            (:class:`GroundTruthLog`) — read only by
+            :mod:`repro.eval.attribution`; the blind analysis pipeline
+            never sees it.
     """
 
     world: ScenarioWorld
@@ -60,6 +138,7 @@ class SimulationResult:
     served_dc_counts: Counter = field(default_factory=Counter)
     startup_delay_samples: List[float] = field(default_factory=list)
     serving_rtt_samples: List[float] = field(default_factory=list)
+    truth: GroundTruthLog = field(default_factory=GroundTruthLog)
 
 
 class RequestProcessor:
@@ -89,6 +168,19 @@ class RequestProcessor:
         self._site_cache: Dict[int, Site] = {}
         self._resolver_cache: Dict[int, LocalResolver] = {}
         self.result = SimulationResult(world=world, dataset=None, requests=0)
+        # Anchor resolver for ground-truth labels: the first non-divergent
+        # subnet's resolver — the vantage point's canonical view, matching
+        # the single preferred data center the blind pipeline infers per
+        # dataset.  (Divergent subnets are exactly the ones whose answers
+        # should read as DNS-caused deviations.)
+        self._anchor_resolver: Optional[str] = None
+        subnets = getattr(world.spec, "subnets", ())
+        for subnet_spec in subnets:
+            if not getattr(subnet_spec, "divergent_resolver", False):
+                self._anchor_resolver = f"{world.spec.name}/{subnet_spec.name}"
+                break
+        if self._anchor_resolver is None and subnets:
+            self._anchor_resolver = f"{world.spec.name}/{subnets[0].name}"
 
     def process(self, request: Request) -> RequestOutcome:
         """Serve one request, record its flows and ground truth."""
@@ -116,6 +208,29 @@ class RequestProcessor:
         result.requests += 1
         result.dns_dc_counts[outcome.dns_dc_id] += 1
         result.served_dc_counts[outcome.served_dc_id] += 1
+        # Ground truth: what the policy intended vs. what happened.  The
+        # anchor lookup is a pure observation (preferred_now consumes no
+        # randomness), so recording truth never perturbs the week.
+        anchor_dc = None
+        if self._anchor_resolver is not None:
+            try:
+                anchor_dc = world.system.policy.preferred_now(
+                    self._anchor_resolver, request.t_s
+                )
+            except KeyError:
+                anchor_dc = None
+        if anchor_dc is None:
+            # Hand-built worlds without a configured anchor resolver:
+            # degrade to labelling relative to the DNS answer itself.
+            anchor_dc = outcome.dns_dc_id
+        result.truth.append(
+            client_ip=client_ip,
+            video_id=request.video.video_id,
+            t_s=request.t_s,
+            anchor_dc=anchor_dc,
+            dns_dc=outcome.dns_dc_id,
+            chain_dcs=[hop.dc_id for hop in outcome.decision.hops],
+        )
         if outcome.decision.causes:
             for cause in outcome.decision.causes:
                 result.cause_counts[cause] += 1

@@ -26,7 +26,7 @@ from repro.exec.executor import ParallelExecutor, default_executor
 from repro.cdn.cluster import CdnSystem
 from repro.cdn.datacenter import DataCenter, DataCenterDirectory, build_datacenter
 from repro.cdn.redirection import RedirectionEngine
-from repro.cdn.selection import PreferredDcPolicy
+from repro.cdn.selection import PolicyContext, make_policy
 from repro.cdn.store import ContentPlacement
 from repro.geo.cities import default_atlas
 from repro.net.asn import AsRegistry, CW_ASN, GBLX_ASN, GOOGLE_ASN, YOUTUBE_EU_ASN
@@ -228,12 +228,18 @@ def build_shared_worlds(
         origin_fetch_probability=0.35,
         seed=derive_seed(seed, "shared", "redirection"),
     )
-    policy = PreferredDcPolicy(
-        directory=directory,
-        rankings=rankings,
-        dns_capacity_per_hour=dns_caps,
-        spill_probability=max(spec.spill_probability for spec in specs),
-        seed=derive_seed(seed, "shared", "policy"),
+    # Through the registry, like build_world — byte-identical to the
+    # direct PreferredDcPolicy construction it replaces.
+    policy = make_policy(
+        "preferred",
+        PolicyContext(
+            directory=directory,
+            rankings=rankings,
+            eligible=tuple(dc.dc_id for dc in ranked_dcs),
+            dns_capacity_per_hour=dns_caps,
+            spill_probability=max(spec.spill_probability for spec in specs),
+            seed=derive_seed(seed, "shared", "policy"),
+        ),
     )
     system = CdnSystem(
         catalog=catalog,

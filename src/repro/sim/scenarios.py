@@ -22,7 +22,12 @@ from repro.cdn.catalog import DEFAULT_NUM_SHARDS, VideoCatalog
 from repro.cdn.cluster import CdnSystem
 from repro.cdn.datacenter import DataCenter, DataCenterDirectory, build_datacenter
 from repro.cdn.redirection import RedirectionEngine
-from repro.cdn.selection import PreferredDcPolicy, ProportionalPolicy, SelectionPolicy
+from repro.cdn.selection import (
+    PolicyContext,
+    SelectionPolicy,
+    make_policy,
+    registered_policy_kinds,
+)
 from repro.cdn.store import ContentPlacement
 from repro.geo.cities import City, default_atlas
 from repro.net.asn import (
@@ -369,19 +374,30 @@ def build_world(
             the capacity limits accordingly so load ratios are preserved.
         seed: Master seed.
         duration_s: Simulation window (default one week).
-        policy_kind: ``"preferred"`` for the paper's inferred (RTT-driven)
-            policy, ``"proportional"`` for the old-infrastructure ablation
-            baseline, or ``"geographic"`` for an idealised
-            distance-driven policy (what selection would look like if
-            proximity *were* the criterion — it is not, per Figure 8).
+        policy_kind: A registered selection-policy kind (see
+            :func:`repro.cdn.selection.registered_policy_kinds`):
+            ``"preferred"`` for the paper's inferred (RTT-driven) policy,
+            ``"proportional"`` for the old-infrastructure ablation
+            baseline, ``"geographic"`` for an idealised distance-driven
+            policy (what selection would look like if proximity *were*
+            the criterion — it is not, per Figure 8), plus the
+            literature policies of :mod:`repro.cdn.policies`
+            (``"gwtw"``, ``"isp-te"``, ``"partition"``).
 
     Returns:
         The assembled :class:`ScenarioWorld`.
+
+    Raises:
+        ValueError: For a non-positive scale or an unregistered policy
+            kind (the message names every registered policy).
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
-    if policy_kind not in ("preferred", "proportional", "geographic"):
-        raise ValueError(f"unknown policy kind: {policy_kind!r}")
+    if policy_kind not in registered_policy_kinds():
+        raise ValueError(
+            f"unknown policy {policy_kind!r}; registered policies: "
+            f"{', '.join(registered_policy_kinds())}"
+        )
     atlas = default_atlas()
     vantage_city = atlas.get(spec.vantage_city)
 
@@ -508,36 +524,39 @@ def build_world(
         ranked_ids.insert(0, spec.preferred_override)
 
     # ----------------------------------------------------------- DNS policy
-    policy: SelectionPolicy
-    if policy_kind in ("preferred", "geographic"):
-        rankings: Dict[str, Sequence[str]] = {}
-        for subnet_spec in spec.subnets:
-            resolver_id = f"{spec.name}/{subnet_spec.name}"
-            if subnet_spec.divergent_resolver:
-                # YouTube's per-resolver assignment hands this resolver a
-                # different preferred data center (Section VII-B).
-                rankings[resolver_id] = [ranked_ids[1], ranked_ids[0]] + ranked_ids[2:]
-            else:
-                rankings[resolver_id] = list(ranked_ids)
-        dns_caps: Dict[str, float] = {}
-        if internal_dc is not None:
-            dns_caps[internal_dc.dc_id] = max(2.0, spec.internal_dc_cap_of_mean * mean_hourly)
-        if spec.drain_preferred:
-            dns_caps[ranked_ids[0]] = 0.0
-        policy = PreferredDcPolicy(
+    # One PolicyContext serves every registered kind: rankings reflect this
+    # kind's ranking basis (distance for "geographic", RTT otherwise) and
+    # the Section VII-B divergent-resolver overrides; caps carry the EU2
+    # internal-DC budget (Section VII-A) and drain what-ifs; rtt_ms is the
+    # link-cost signal the racing/traffic-engineering policies steer on.
+    rankings: Dict[str, Sequence[str]] = {}
+    for subnet_spec in spec.subnets:
+        resolver_id = f"{spec.name}/{subnet_spec.name}"
+        if subnet_spec.divergent_resolver:
+            # YouTube's per-resolver assignment hands this resolver a
+            # different preferred data center (Section VII-B).
+            rankings[resolver_id] = [ranked_ids[1], ranked_ids[0]] + ranked_ids[2:]
+        else:
+            rankings[resolver_id] = list(ranked_ids)
+    dns_caps: Dict[str, float] = {}
+    if internal_dc is not None:
+        dns_caps[internal_dc.dc_id] = max(2.0, spec.internal_dc_cap_of_mean * mean_hourly)
+    if spec.drain_preferred:
+        dns_caps[ranked_ids[0]] = 0.0
+    policy: SelectionPolicy = make_policy(
+        policy_kind,
+        PolicyContext(
             directory=directory,
             rankings=rankings,
+            eligible=tuple(dc.dc_id for dc in ranked_dcs),
+            rtt_ms={dc.dc_id: dc_rtt(dc) for dc in ranked_dcs},
             dns_capacity_per_hour=dns_caps,
             spill_probability=spec.spill_probability,
             seed=derive_seed(seed, spec.name, "policy"),
             ttl_s=spec.dns_ttl_s,
-        )
-    else:
-        policy = ProportionalPolicy(
-            directory=directory,
-            eligible=[dc.dc_id for dc in ranked_dcs],
-            seed=derive_seed(seed, spec.name, "policy"),
-        )
+            duration_s=duration_s,
+        ),
+    )
 
     authoritative = AuthoritativeServer(mapper=policy)
     subnet_block = parse_network(spec.client_block)

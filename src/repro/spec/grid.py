@@ -11,8 +11,10 @@ Axis names select the delta kind:
 
 - ``"dataset"`` — values are registry names; the axis switches the *base*
   scenario instead of contributing a delta.
-- ``"policy"`` — values are selection-policy kinds (``"preferred"``,
-  ``"proportional"``, ``"geographic"``).
+- ``"policy"`` — values are registered selection-policy kinds
+  (:func:`repro.cdn.selection.registered_policy_kinds`; e.g.
+  ``"preferred"``, ``"proportional"``, ``"geographic"``, ``"gwtw"``,
+  ``"isp-te"``, ``"partition"``).
 - ``"variant"`` — values are :mod:`repro.whatif.variants` names; the
   variant's spec delta is composed in.
 - anything else — a scalar :class:`~repro.sim.scenarios.ScenarioSpec`
@@ -33,7 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.spec.info import SpecError, canonical_text
-from repro.spec.model import EMPTY_SPEC, POLICY_KINDS, Spec, par_delta
+from repro.spec.model import EMPTY_SPEC, Spec, par_delta, policy_kinds
 
 #: Axis names with special meaning (not ScenarioSpec par assignments).
 SPECIAL_AXES: Tuple[str, ...] = ("dataset", "policy", "variant")
@@ -218,9 +220,11 @@ def load_grid(path: str) -> GridSpec:
 def _axis_delta(axis: str, value: Any) -> Spec:
     """The spec delta one (axis, value) assignment contributes."""
     if axis == "policy":
-        if value not in POLICY_KINDS:
+        kinds = policy_kinds()
+        if value not in kinds:
             raise SpecError(
-                f"unknown policy {value!r}; expected one of {POLICY_KINDS}"
+                f"unknown policy {value!r}; registered policies: "
+                f"{', '.join(kinds)}"
             )
         return par_delta(policy=value)
     if axis == "variant":

@@ -42,8 +42,18 @@ from repro.spec.info import (
     describe,
 )
 
-#: Selection-policy kinds :func:`repro.sim.scenarios.build_world` accepts.
-POLICY_KINDS: Tuple[str, ...] = ("preferred", "proportional", "geographic")
+def policy_kinds() -> Tuple[str, ...]:
+    """Selection-policy kinds :func:`repro.sim.scenarios.build_world` accepts.
+
+    Delegates to the policy registry
+    (:func:`repro.cdn.selection.registered_policy_kinds`, imported lazily
+    to keep the spec layer import-light), so registering a policy makes
+    it a valid ``"policy"`` par and grid-axis value with no spec-layer
+    change.
+    """
+    from repro.cdn.selection import registered_policy_kinds
+
+    return registered_policy_kinds()
 
 #: ScenarioSpec fields that are set-backed (not assignable as pars).
 _SET_BACKED_FIELDS = frozenset({"subnets", "detour_pins", "extra_dcs", "removed_dcs"})
@@ -119,9 +129,11 @@ def coerce_par(name: str, value: Any) -> Any:
         SpecError: For unknown par names or untypeable values.
     """
     if name == "policy":
-        if value not in POLICY_KINDS:
+        kinds = policy_kinds()
+        if value not in kinds:
             raise SpecError(
-                f"unknown policy {value!r}; expected one of {POLICY_KINDS}"
+                f"unknown policy {value!r}; registered policies: "
+                f"{', '.join(kinds)}"
             )
         return value
     table = _par_field_types()
