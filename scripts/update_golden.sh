@@ -41,3 +41,12 @@ if ! diff -q "$OUT" tests/golden/study_preferred_0.01.digests > /dev/null; then
     echo "ERROR: study_preferred_0.01.digests diverged from $OUT" >&2
     exit 1
 fi
+
+# The monitor timeline: per-epoch snapshot digests over the built-in
+# demo evolution (8 one-day epochs).
+MOUT=tests/golden/monitor_0.01.digests
+PYTHONPATH=src REPRO_CACHE=off python -m repro monitor --scale 0.01 --seed 7 \
+    --digests | grep '^digest ' > "$MOUT.tmp"
+mv "$MOUT.tmp" "$MOUT"
+echo "updated $MOUT:"
+cat "$MOUT"

@@ -8,13 +8,15 @@ Five subcommands cover the library's workflows::
     python -m repro coldvideo --nodes 45 --samples 25
     python -m repro whatif    --dataset EU1-ADSL --variants old-policy,flash-crowd
     python -m repro grid      run --base EU1-FTTH --axis policy=preferred,geographic
+    python -m repro monitor   --epochs 8 --epoch-s 86400
     python -m repro cache     stats
 
 ``simulate`` writes a Tstat-style flow log; ``sessions`` re-analyses any
 such log (including ones you edit or generate elsewhere); the rest run the
 paper's composite experiments end to end.  ``grid`` enumerates declarative
 scenario-spec grids (axes × values over a registry base) and runs them
-with per-point cache reuse; ``cache`` inspects and manages the
+with per-point cache reuse; ``monitor`` watches an evolving world across
+epochs and raises change-point alarms; ``cache`` inspects and manages the
 stage-artifact store that makes warm re-runs of the above incremental.
 """
 
@@ -34,6 +36,11 @@ from repro.core.pipeline import StudyPipeline
 from repro.core.sessions import flows_per_session_histogram, build_sessions
 from repro.core.summary import render_table1
 from repro.cdn.selection import registered_policy_kinds
+from repro.monitor.detect import DEFAULT_THRESHOLD
+from repro.monitor.run import (
+    DEFAULT_EPOCHS as MONITOR_DEFAULT_EPOCHS,
+    DEFAULT_EPOCH_S as MONITOR_DEFAULT_EPOCH_S,
+)
 from repro.sim.driver import run_all, run_scenario
 from repro.trace.columnar import KERNELS_ENV
 from repro.sim.scenarios import DATASET_NAMES, PAPER_SCENARIOS, build_world
@@ -319,6 +326,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid_diff.add_argument("grid_a", help="baseline grid JSON path")
     p_grid_diff.add_argument("grid_b", help="comparison grid JSON path")
 
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="longitudinal change monitoring: epoch snapshots, clustering, alarms",
+    )
+    p_monitor.add_argument(
+        "--base", choices=DATASET_NAMES, default="EU1-ADSL",
+        help="base scenario to monitor (default EU1-ADSL)",
+    )
+    p_monitor.add_argument(
+        "--epochs", type=int, default=MONITOR_DEFAULT_EPOCHS,
+        help=f"number of consecutive epochs (default {MONITOR_DEFAULT_EPOCHS})",
+    )
+    p_monitor.add_argument(
+        "--epoch-s", type=float, default=MONITOR_DEFAULT_EPOCH_S,
+        help="epoch length in seconds (default 86400 = one day)",
+    )
+    p_monitor.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="evolution-plan JSON file (the scheduled CDN changes; "
+        "default: the built-in demo schedule)",
+    )
+    p_monitor.add_argument(
+        "--static", action="store_true",
+        help="monitor a never-changing world (zero ground-truth "
+        "alarms; overrides --plan)",
+    )
+    p_monitor.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"alarm threshold on the pattern dissimilarity "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    p_monitor.add_argument(
+        "--policy", choices=registered_policy_kinds(), default="preferred",
+        help="selection policy the base scenario runs (default preferred)",
+    )
+    p_monitor.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report (timeline, verdict, "
+        "per-epoch cache/degradation counters)",
+    )
+    p_monitor.add_argument(
+        "--digests", action="store_true",
+        help="append one 'digest epochNN <sha256>' line per epoch "
+        "(byte-identity checks across runs)",
+    )
+    _add_common(p_monitor)
+
     p_cache = sub.add_parser(
         "cache", help="inspect or manage the stage-artifact cache"
     )
@@ -346,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr_summary.add_argument("trace_file", help="trace_<run>.jsonl path")
     p_tr_summary.add_argument(
         "--depth", type=int, default=None, help="limit the tree depth (default: unlimited)"
+    )
+    p_tr_summary.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable span tree (same tree and depth limit "
+        "as the table, plus the metrics snapshot)",
     )
     p_tr_slowest = trace_sub.add_parser(
         "slowest", help="top spans by exclusive time (where the run went)"
@@ -1010,6 +1069,53 @@ def cmd_cache(args: argparse.Namespace, out) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def cmd_monitor(args: argparse.Namespace, out) -> int:
+    from repro.monitor import (
+        STATIC_PLAN,
+        load_evolution,
+        render_timeline,
+        run_monitor,
+        standard_evolution,
+    )
+    from repro.spec.info import SpecError
+
+    if args.static:
+        plan = STATIC_PLAN
+    elif args.plan:
+        try:
+            plan = load_evolution(args.plan)
+        except (SpecError, OSError) as error:
+            print(f"bad --plan: {error}", file=sys.stderr)
+            return 2
+    else:
+        plan = standard_evolution()
+    try:
+        report = run_monitor(
+            args.base,
+            plan=plan,
+            epochs=args.epochs,
+            epoch_s=args.epoch_s,
+            scale=args.scale,
+            seed=args.seed,
+            threshold=args.threshold,
+            base_policy=args.policy,
+            executor=executor_from_args(args),
+        )
+    except (SpecError, ValueError) as error:
+        print(f"cannot monitor: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(render_timeline(report), file=out)
+    if args.digests:
+        for line in report.digest_lines():
+            print(line, file=out)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace, out) -> int:
     try:
         if args.trace_command == "diff":
@@ -1021,7 +1127,18 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         print(f"cannot read trace: {error}", file=out)
         return 2
     if args.trace_command == "summary":
-        print(obs.render_summary(doc, max_depth=args.depth), file=out)
+        if args.as_json:
+            import json
+
+            print(
+                json.dumps(
+                    obs.summary_dict(doc, max_depth=args.depth),
+                    indent=2, sort_keys=True,
+                ),
+                file=out,
+            )
+        else:
+            print(obs.render_summary(doc, max_depth=args.depth), file=out)
         return 0
     if args.trace_command == "slowest":
         print(obs.render_slowest(doc, top=args.top), file=out)
@@ -1047,6 +1164,7 @@ _COMMANDS = {
     "anonymize": cmd_anonymize,
     "sweep": cmd_sweep,
     "grid": cmd_grid,
+    "monitor": cmd_monitor,
     "cache": cmd_cache,
     "trace": cmd_trace,
 }

@@ -1,0 +1,81 @@
+"""Timeline rendering for monitor runs.
+
+One fixed-width table row per epoch — volume, edge-cloud summary,
+dissimilarity to the previous epoch, the alarm marker, whether the
+epoch came from the cache, and any degradation recorded while it was
+computed — followed by the alarm/ground-truth reconciliation.  The
+machine-readable twin of this table is
+:meth:`repro.monitor.run.MonitorReport.as_dict` (``repro monitor
+--json``); CI gates parse that, humans read this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.monitor.run import EpochRow, MonitorReport
+
+
+def _degradation_cell(row: EpochRow) -> str:
+    """Compact per-epoch degradation summary (``-`` when clean)."""
+    totals: Dict[str, int] = {}
+    for tally in row.degradation.values():
+        for name, count in tally.items():
+            if name != "completed":
+                totals[name] = totals.get(name, 0) + count
+    if not totals:
+        return "-"
+    return ",".join(f"{name}={totals[name]}" for name in sorted(totals))
+
+
+def render_timeline(report: MonitorReport) -> str:
+    """The epoch timeline plus the detection verdict, as fixed-width text."""
+    lines: List[str] = []
+    mode = "static world" if report.plan.is_static else (
+        f"{len(report.plan.steps)} scheduled changes"
+    )
+    lines.append(
+        f"MONITOR {report.base} ({report.policy}) - "
+        f"{report.epochs} epochs x {report.epoch_s:g} s - "
+        f"scale {report.scale:g} seed {report.seed} - {mode}"
+    )
+    lines.append(
+        f"{'epoch':>5s} {'flows':>7s} {'clouds':>6s} {'top-share':>9s} "
+        f"{'top-rtt':>8s} {'distance':>8s} {'alarm':>6s} {'cache':>6s}  degradation"
+    )
+    for row in report.rows:
+        rtt = "-" if row.dominant_rtt_ms is None else f"{row.dominant_rtt_ms:.1f}"
+        distance = "-" if row.distance is None else f"{row.distance:.3f}"
+        alarm = "ALARM" if row.alarm else ""
+        cache = "hit" if row.cached else "miss"
+        lines.append(
+            f"{row.epoch:>5d} {row.flows:>7d} {row.clouds:>6d} "
+            f"{row.dominant_share:>9.3f} {rtt:>8s} {distance:>8s} "
+            f"{alarm:>6s} {cache:>6s}  {_degradation_cell(row)}"
+        )
+        for label in row.changes:
+            lines.append(f"{'':>5s} ^ scheduled: {label}")
+    lines.append("")
+    alarm_epochs = report.alarm_epochs()
+    lines.append(
+        "alarms at epochs: " + (", ".join(map(str, alarm_epochs)) or "(none)")
+    )
+    lines.append(
+        "ground truth:     " + (", ".join(map(str, report.truth)) or "(none)")
+    )
+    score = report.score
+    lines.append(
+        f"precision {score.precision:.2f}  recall {score.recall:.2f}  "
+        f"f1 {score.f1:.2f}"
+        + (
+            f"  (misses: {', '.join(map(str, score.misses))})"
+            if score.misses
+            else ""
+        )
+        + (
+            f"  (false alarms: {', '.join(map(str, score.false_alarms))})"
+            if score.false_alarms
+            else ""
+        )
+    )
+    return "\n".join(lines)

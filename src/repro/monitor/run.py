@@ -1,0 +1,441 @@
+"""The monitor driver: epoch fan-out, epoch-keyed caching, detection.
+
+``run_monitor`` turns an (base scenario, :class:`EvolutionPlan`) pair
+into a :class:`MonitorReport`: each epoch composes the plan's deltas in
+force, builds that epoch's world (physical topology pinned on the master
+seed, workload re-sampled from a per-epoch traffic seed), streams
+it into an :class:`~repro.monitor.snapshot.EpochSnapshot`, clusters it,
+and the consecutive-epoch dissimilarities are thresholded into alarms
+scored against the plan's ground truth.
+
+Epochs are independent units of work: they fan out over the
+:class:`~repro.exec.executor.ParallelExecutor` (results are identical
+on every backend) and each resolves against the artifact store first
+under an epoch-keyed ``"monitor/epoch"`` stage — a warm re-run with
+``--epochs`` extended simulates only the appended epochs, exactly like
+a daily monitoring job that only ever processes the newest epoch.
+
+Per-epoch degradation is captured *inside* the epoch's unit of work and
+stored with the snapshot, so the timeline can show which epochs were
+degraded (and by how much) even when they were computed in a worker
+process or served from the cache — fixing the "degradation report only
+at the end of the run" blind spot for multi-epoch runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.artifacts.keys import CanonicalizationError, stage_key
+from repro.artifacts.store import default_store
+from repro.exec.executor import ParallelExecutor, default_executor
+from repro.faults import report as degradation
+from repro.monitor.cluster import (
+    DEFAULT_RTT_GAP_MS,
+    ClusteredSnapshot,
+    cluster_snapshot,
+)
+from repro.monitor.detect import (
+    DEFAULT_RTT_SCALE_MS,
+    DEFAULT_THRESHOLD,
+    Alarm,
+    DetectionScore,
+    consecutive_distances,
+    detect_alarms,
+    score_detection,
+)
+from repro.monitor.evolution import STATIC_PLAN, EvolutionPlan
+from repro.monitor.snapshot import EpochSnapshot, build_epoch_snapshot
+from repro.sim.engine import DEFAULT_MISS_PROBABILITY
+from repro.sim.scenarios import ScenarioSpec, build_world
+from repro.sim.seeding import derive_seed
+from repro.spec.model import Spec, apply_to_scenario
+
+#: Default epoch length: one simulated day.
+DEFAULT_EPOCH_S = 86400.0
+
+#: Default monitored horizon, chosen so the canned
+#: :func:`~repro.monitor.evolution.standard_evolution` schedule fits.
+DEFAULT_EPOCHS = 8
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class EpochComputation:
+    """What one epoch's unit of work produces (and the cache stores).
+
+    Attributes:
+        snapshot: The epoch's edge-cloud snapshot.
+        degradation: Per-stage degradation counters recorded while this
+            epoch was computed (empty without an active fault plan).
+    """
+
+    snapshot: EpochSnapshot
+    degradation: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def _degradation_delta(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-stage counter increments between two collector snapshots."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for stage, tally in after.items():
+        base = before.get(stage, {})
+        changed = {
+            name: count - base.get(name, 0)
+            for name, count in tally.items()
+            if count - base.get(name, 0)
+        }
+        if changed:
+            delta[stage] = changed
+    return delta
+
+
+def _epoch_task(payload: Tuple) -> EpochComputation:
+    """Process-safe unit of work: build, stream and snapshot one epoch."""
+    (
+        base,
+        spec,
+        epoch,
+        epoch_s,
+        scale,
+        seed,
+        base_policy,
+        probes,
+        prefix_len,
+        miss_probability,
+    ) = payload
+    before = degradation.collect().stages
+    with obs.span("monitor/epoch", dataset=base.name, epoch=epoch):
+        scenario, policy = apply_to_scenario(base, spec, base_policy=base_policy)
+        # The physical world (latency paths, catalog, client placement)
+        # stays on the master seed: epochs must differ only by workload
+        # sampling and by *scheduled* changes, never by re-rolled paths.
+        world = build_world(
+            scenario,
+            scale=scale,
+            seed=seed,
+            duration_s=epoch_s,
+            policy_kind=policy,
+            traffic_seed=derive_seed(seed, "monitor", "epoch", str(epoch)),
+        )
+        snapshot = build_epoch_snapshot(
+            world,
+            epoch=epoch,
+            rtt_seed=derive_seed(seed, "monitor", "rtt", str(epoch)),
+            probes=probes,
+            prefix_len=prefix_len,
+            miss_probability=miss_probability,
+        )
+    after = degradation.collect().stages
+    return EpochComputation(
+        snapshot=snapshot, degradation=_degradation_delta(before, after)
+    )
+
+
+@dataclass(frozen=True)
+class EpochRow:
+    """One timeline row: an epoch's snapshot summary plus detection state.
+
+    Attributes:
+        epoch: Epoch index.
+        cached: Whether the epoch was served from the artifact store.
+        flows: Flows observed this epoch.
+        num_bytes: Bytes observed this epoch.
+        clouds: Edge-cloud count.
+        dominant_share: Byte share of the dominant cloud (0.0 if empty).
+        dominant_rtt_ms: Dominant cloud's RTT centroid (``None`` when
+            unprobed or empty).
+        distance: Dissimilarity to the previous epoch (``None`` for
+            epoch 0).
+        alarm: Whether the distance crossed the threshold.
+        changes: Ground-truth change labels scheduled at this epoch.
+        degradation: Per-stage degradation recorded computing the epoch.
+        probes_lost: Prefix probes lost to the fault plan this epoch.
+        digest: The snapshot's sha256 (the golden-fixture unit).
+    """
+
+    epoch: int
+    cached: bool
+    flows: int
+    num_bytes: int
+    clouds: int
+    dominant_share: float
+    dominant_rtt_ms: Optional[float]
+    distance: Optional[float]
+    alarm: bool
+    changes: Tuple[str, ...]
+    degradation: Dict[str, Dict[str, int]]
+    probes_lost: int
+    digest: str
+
+
+@dataclass
+class MonitorReport:
+    """Everything one monitor run produced.
+
+    Attributes:
+        base: Base scenario name.
+        policy: Base selection-policy kind.
+        epochs: Number of monitored epochs.
+        epoch_s: Epoch length in seconds.
+        scale: Traffic scale.
+        seed: Master seed.
+        threshold: Alarm threshold on the dissimilarity.
+        plan: The evolution plan (ground truth).
+        rows: One :class:`EpochRow` per epoch, in order.
+        clustered: The clustered snapshots, in epoch order.
+        alarms: Raised alarms, in epoch order.
+        truth: Ground-truth change epochs within the horizon.
+        score: Alarms scored against the truth.
+    """
+
+    base: str
+    policy: str
+    epochs: int
+    epoch_s: float
+    scale: float
+    seed: int
+    threshold: float
+    plan: EvolutionPlan
+    rows: List[EpochRow]
+    clustered: List[ClusteredSnapshot]
+    alarms: List[Alarm]
+    truth: Tuple[int, ...]
+    score: DetectionScore
+
+    def alarm_epochs(self) -> List[int]:
+        return [alarm.epoch for alarm in self.alarms]
+
+    def verdict_dict(self) -> Dict:
+        """The backend- and epoch-length-invariant detection verdict.
+
+        Exactly this sub-document must be byte-identical across executor
+        backends and across reasonable ``--epoch-s`` choices (the
+        property tests pin both).
+        """
+        return {
+            "alarms": self.alarm_epochs(),
+            "truth": list(self.truth),
+            "score": self.score.as_dict(),
+        }
+
+    def as_dict(self) -> Dict:
+        """The machine-readable report (``repro monitor --json``)."""
+        return {
+            "base": self.base,
+            "policy": self.policy,
+            "epochs": self.epochs,
+            "epoch_s": self.epoch_s,
+            "scale": self.scale,
+            "seed": self.seed,
+            "threshold": self.threshold,
+            "static": self.plan.is_static,
+            "plan": self.plan.to_json_dict(),
+            "verdict": self.verdict_dict(),
+            "epochs_cached": sum(1 for row in self.rows if row.cached),
+            "epochs_computed": sum(1 for row in self.rows if not row.cached),
+            "timeline": [
+                {
+                    "epoch": row.epoch,
+                    "cached": row.cached,
+                    "flows": row.flows,
+                    "bytes": row.num_bytes,
+                    "clouds": row.clouds,
+                    "dominant_share": round(row.dominant_share, 6),
+                    "dominant_rtt_ms": row.dominant_rtt_ms,
+                    "distance": (
+                        None if row.distance is None else round(row.distance, 6)
+                    ),
+                    "alarm": row.alarm,
+                    "changes": list(row.changes),
+                    "degradation": row.degradation,
+                    "probes_lost": row.probes_lost,
+                    "digest": row.digest,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def digest_lines(self) -> List[str]:
+        """``digest epochNN <sha256>`` lines (the golden-fixture form)."""
+        return [f"digest epoch{row.epoch:02d} {row.digest}" for row in self.rows]
+
+
+def run_monitor(
+    base: Union[str, ScenarioSpec] = "EU1-ADSL",
+    plan: Optional[EvolutionPlan] = None,
+    epochs: int = DEFAULT_EPOCHS,
+    epoch_s: float = DEFAULT_EPOCH_S,
+    scale: float = 0.02,
+    seed: int = 7,
+    threshold: float = DEFAULT_THRESHOLD,
+    rtt_gap_ms: float = DEFAULT_RTT_GAP_MS,
+    rtt_scale_ms: float = DEFAULT_RTT_SCALE_MS,
+    probes: int = 4,
+    prefix_len: int = 24,
+    base_policy: str = "preferred",
+    miss_probability: float = DEFAULT_MISS_PROBABILITY,
+    executor: Optional[ParallelExecutor] = None,
+) -> MonitorReport:
+    """Monitor an evolving world and score change detection.
+
+    Args:
+        base: Base scenario — a registry name or a
+            :class:`~repro.sim.scenarios.ScenarioSpec`.
+        plan: The evolution schedule; ``None`` monitors a static world.
+        epochs: Number of consecutive epochs to monitor.
+        epoch_s: Epoch length in seconds.
+        scale: Traffic scale relative to the paper.
+        seed: Master seed.  The physical world (latency paths, catalog,
+            client placement) is built from it for *every* epoch; each
+            epoch derives only a traffic sub-seed, so consecutive epochs
+            are fresh workload samples of the same (or changed) scenario.
+        threshold: Alarm threshold on the pattern dissimilarity.
+        rtt_gap_ms: Edge-cloud single-linkage gap.
+        rtt_scale_ms: Centroid shift treated as a full migration.
+        probes: Pings per prefix RTT measurement.
+        prefix_len: Server-side aggregation prefix length.
+        base_policy: Selection policy the base scenario runs.
+        miss_probability: Monitor classification-miss probability.
+        executor: Epoch fan-out strategy; defaults to the environment's.
+
+    Returns:
+        The :class:`MonitorReport`.
+
+    Raises:
+        ValueError: For a non-positive horizon or epoch length.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive")
+    if plan is None:
+        plan = STATIC_PLAN
+    if isinstance(base, str):
+        from repro.spec.registry import scenario_spec
+
+        base = scenario_spec(base)
+
+    specs: List[Spec] = [plan.spec_at(e) for e in range(epochs)]
+    store = default_store()
+    computations: List[Optional[EpochComputation]] = [None] * epochs
+    keys: List[Optional[str]] = [None] * epochs
+    cached: List[bool] = [False] * epochs
+    pending: List[int] = []
+
+    with obs.span(
+        "monitor/run", base=base.name, epochs=epochs, epoch_s=epoch_s
+    ):
+        for e in range(epochs):
+            if store is not None:
+                try:
+                    keys[e] = stage_key(
+                        "monitor/epoch",
+                        {
+                            "base": base,
+                            "spec": specs[e],
+                            "epoch": e,
+                            "epoch_s": epoch_s,
+                            "scale": scale,
+                            "seed": seed,
+                            "base_policy": base_policy,
+                            "probes": probes,
+                            "prefix_len": prefix_len,
+                            "miss_probability": miss_probability,
+                        },
+                    )
+                except CanonicalizationError:
+                    keys[e] = None
+                if keys[e] is not None:
+                    hit = store.get(keys[e], _MISS, stage="monitor/epoch")
+                    if hit is not _MISS:
+                        computations[e] = hit
+                        cached[e] = True
+                        obs.inc("monitor.epochs_cached")
+                        continue
+            pending.append(e)
+
+        if pending:
+            executor = default_executor(executor)
+            fresh = executor.map(
+                _epoch_task,
+                [
+                    (
+                        base,
+                        specs[e],
+                        e,
+                        epoch_s,
+                        scale,
+                        seed,
+                        base_policy,
+                        probes,
+                        prefix_len,
+                        miss_probability,
+                    )
+                    for e in pending
+                ],
+                labels=[f"{base.name}/epoch{e}" for e in pending],
+            )
+            for e, computation in zip(pending, fresh):
+                computations[e] = computation
+                obs.inc("monitor.epochs_computed")
+                if store is not None and keys[e] is not None:
+                    store.put(keys[e], computation, stage="monitor/epoch")
+
+        clustered = [
+            cluster_snapshot(computation.snapshot, rtt_gap_ms=rtt_gap_ms)
+            for computation in computations
+        ]
+        distances = consecutive_distances(clustered, rtt_scale_ms=rtt_scale_ms)
+        for distance in distances:
+            obs.observe("monitor.distance", distance, base=base.name)
+        alarms = detect_alarms(distances, threshold)
+        if alarms:
+            obs.inc("monitor.alarms", len(alarms), base=base.name)
+        truth = plan.change_epochs(epochs)
+        score = score_detection([a.epoch for a in alarms], truth)
+        obs.set_gauge("monitor.precision", score.precision)
+        obs.set_gauge("monitor.recall", score.recall)
+
+        alarmed = {alarm.epoch for alarm in alarms}
+        rows = []
+        for e in range(epochs):
+            snap = computations[e].snapshot
+            dominant = clustered[e].dominant
+            rows.append(
+                EpochRow(
+                    epoch=e,
+                    cached=cached[e],
+                    flows=snap.flows_total,
+                    num_bytes=snap.bytes_total,
+                    clouds=len(clustered[e].clouds),
+                    dominant_share=dominant.share if dominant else 0.0,
+                    dominant_rtt_ms=dominant.rtt_ms if dominant else None,
+                    distance=None if e == 0 else distances[e - 1],
+                    alarm=e in alarmed,
+                    changes=plan.labels_at(e) if e in truth else (),
+                    degradation=computations[e].degradation,
+                    probes_lost=snap.probes_lost,
+                    digest=snap.digest(),
+                )
+            )
+
+    return MonitorReport(
+        base=base.name,
+        policy=base_policy,
+        epochs=epochs,
+        epoch_s=epoch_s,
+        scale=scale,
+        seed=seed,
+        threshold=threshold,
+        plan=plan,
+        rows=rows,
+        clustered=clustered,
+        alarms=alarms,
+        truth=truth,
+        score=score,
+    )

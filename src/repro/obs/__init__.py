@@ -27,6 +27,7 @@ from repro.obs.export import (
     render_diff,
     render_slowest,
     render_summary,
+    summary_dict,
     to_chrome,
     write_chrome,
     write_trace,
@@ -76,6 +77,7 @@ __all__ = [
     "set_current_run",
     "set_gauge",
     "span",
+    "summary_dict",
     "task_capture",
     "to_chrome",
     "trace_enabled",

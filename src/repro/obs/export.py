@@ -179,6 +179,41 @@ def render_summary(doc: TraceDoc, max_depth: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
+def summary_dict(doc: TraceDoc, max_depth: Optional[int] = None) -> Dict[str, Any]:
+    """The span tree as a JSON-ready document (``repro trace summary --json``).
+
+    The machine-readable twin of :func:`render_summary`: the same tree,
+    depth limit, inclusive/exclusive seconds, and metrics counters, but
+    as nested objects a CI script can walk without screen-scraping the
+    fixed-width table.
+    """
+    children = doc.children()
+
+    def node(span: SpanRecord, depth: int) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": span.name,
+            "inclusive_s": round(span.inclusive_s, 6),
+            "exclusive_s": round(doc.exclusive_s(span, children), 6),
+        }
+        if span.attrs:
+            entry["attrs"] = dict(span.attrs)
+        if span.counters:
+            entry["counters"] = dict(span.counters)
+        if max_depth is not None and depth + 1 >= max_depth:
+            return entry
+        kids = children.get(span.span_id, ())
+        if kids:
+            entry["children"] = [node(child, depth + 1) for child in kids]
+        return entry
+
+    return {
+        "run_id": doc.run_id,
+        "spans": [node(root, 0) for root in doc.roots()],
+        "counters": dict(doc.metrics.get("counters", {})),
+        "gauges": dict(doc.metrics.get("gauges", {})),
+    }
+
+
 def render_slowest(doc: TraceDoc, top: int = 10) -> str:
     """The ``top`` spans by exclusive time — where the run actually went."""
     children = doc.children()

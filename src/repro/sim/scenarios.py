@@ -365,6 +365,7 @@ def build_world(
     seed: int = 7,
     duration_s: float = WEEK_S,
     policy_kind: str = "preferred",
+    traffic_seed: Optional[int] = None,
 ) -> ScenarioWorld:
     """Build a runnable world for a scenario.
 
@@ -374,6 +375,16 @@ def build_world(
             the capacity limits accordingly so load ratios are preserved.
         seed: Master seed.
         duration_s: Simulation window (default one week).
+        traffic_seed: Optional separate seed for the *per-request*
+            randomness (workload arrivals, redirection coin flips, the
+            policy's spill sampling).  ``None`` (the default) keeps
+            everything on ``seed`` — byte-identical to the historical
+            behaviour.  The longitudinal monitor passes a per-epoch
+            ``traffic_seed`` while holding ``seed`` fixed, so
+            consecutive epochs are fresh traffic samples of the *same*
+            physical world: latency paths, the catalog, the client
+            address plan and the RTT ranking never re-roll between
+            epochs (re-rolled paths would masquerade as CDN changes).
         policy_kind: A registered selection-policy kind (see
             :func:`repro.cdn.selection.registered_policy_kinds`):
             ``"preferred"`` for the paper's inferred (RTT-driven) policy,
@@ -398,6 +409,7 @@ def build_world(
             f"unknown policy {policy_kind!r}; registered policies: "
             f"{', '.join(registered_policy_kinds())}"
         )
+    request_seed = seed if traffic_seed is None else traffic_seed
     atlas = default_atlas()
     vantage_city = atlas.get(spec.vantage_city)
 
@@ -552,7 +564,7 @@ def build_world(
             rtt_ms={dc.dc_id: dc_rtt(dc) for dc in ranked_dcs},
             dns_capacity_per_hour=dns_caps,
             spill_probability=spec.spill_probability,
-            seed=derive_seed(seed, spec.name, "policy"),
+            seed=derive_seed(request_seed, spec.name, "policy"),
             ttl_s=spec.dns_ttl_s,
             duration_s=duration_s,
         ),
@@ -621,7 +633,7 @@ def build_world(
         placement=placement,
         rebalance_probability=spec.rebalance_probability,
         origin_fetch_probability=spec.origin_fetch_probability,
-        seed=derive_seed(seed, spec.name, "redirection"),
+        seed=derive_seed(request_seed, spec.name, "redirection"),
     )
     system = CdnSystem(
         catalog=catalog,
@@ -648,7 +660,7 @@ def build_world(
         profile=spec.diurnal_profile(),
         requests_per_day=scaled_rpd,
         interactions=InteractionModel(),
-        seed=derive_seed(seed, spec.name, "workload"),
+        seed=derive_seed(request_seed, spec.name, "workload"),
     )
 
     return ScenarioWorld(

@@ -25,6 +25,7 @@ from repro.spec.model import (
     Spec,
     apply_spec,
     apply_to_scenario,
+    compose_all,
     diff,
     load_spec,
     par_delta,
@@ -55,6 +56,7 @@ __all__ = [
     "SpecError",
     "apply_spec",
     "apply_to_scenario",
+    "compose_all",
     "describe",
     "diff",
     "diff_grids",

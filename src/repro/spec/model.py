@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.spec.info import (
@@ -289,6 +289,25 @@ EMPTY_SPEC = Spec()
 def par_delta(**pars: Any) -> Spec:
     """A pure par-assignment spec (the common variant/grid delta)."""
     return Spec(add=ScenarioInfo(pars=pars))
+
+
+def compose_all(specs: Iterable[Spec]) -> Spec:
+    """Fold an ordered sequence of specs into one left-to-right composition.
+
+    ``compose_all([a, b, c])`` is ``a.compose(b).compose(c)`` — the spec
+    equivalent to applying ``a``, then ``b``, then ``c``.  An empty
+    sequence yields :data:`EMPTY_SPEC`.  The workhorse behind
+    :class:`repro.monitor.evolution.EvolutionPlan`, which accretes epoch
+    deltas into the scenario in force at a given epoch.
+
+    Raises:
+        SpecError: If any pairwise composition is contradictory (see
+            :meth:`Spec.compose`).
+    """
+    composed = EMPTY_SPEC
+    for spec in specs:
+        composed = composed.compose(spec)
+    return composed
 
 
 def load_spec(path: str) -> Spec:

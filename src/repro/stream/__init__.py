@@ -22,6 +22,7 @@ docs/architecture.md ("Streaming ingestion") for the watermark
 semantics and the equivalence argument.
 """
 
+from repro.stream.accumulators import EdgeCloudAccumulator
 from repro.stream.events import FlowArrival, StreamWindow, WatermarkAdvance
 from repro.stream.digest import StreamingDigest
 from repro.stream.source import inject_disorder, replay_flow_log, replay_records, simulated_stream
@@ -35,6 +36,7 @@ from repro.stream.study import (
 from repro.stream.windows import TumblingWindower, WindowedSessionBuilder
 
 __all__ = [
+    "EdgeCloudAccumulator",
     "FlowArrival",
     "StreamStudy",
     "StreamWindow",

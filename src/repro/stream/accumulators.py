@@ -349,3 +349,71 @@ class SessionStatsAccumulator:
         return {
             label: self._counts[label] / self.sessions for label in HISTOGRAM_BUCKETS
         }
+
+
+class EdgeCloudAccumulator:
+    """Per-(client subnet x server /24) volume totals for epoch snapshots.
+
+    The raw material of :mod:`repro.monitor`'s edge-cloud snapshots: for
+    every sealed window, fold each flow's bytes into the cell keyed by
+    the client's subnet name and the server address's ``/prefix_len``
+    network.  State is sized by distinct (subnet, prefix) pairs — a few
+    dozen for any scenario — never by the flow count, so month-long
+    worlds stream through without materialising.
+
+    All totals are exact integers accumulated in pure python (cells are
+    too few for the columnar kernels to matter), so snapshots are
+    byte-identical on every backend.
+
+    Args:
+        subnet_of: Client address -> subnet name (``None`` to skip the
+            record — a flow from outside the vantage's address plan).
+        prefix_len: Server-side aggregation prefix length (default 24,
+            the paper's "servers in the same /24 cluster together").
+    """
+
+    def __init__(self, subnet_of: Callable[[int], Optional[str]], prefix_len: int = 24):
+        if not 0 < prefix_len <= 32:
+            raise ValueError("prefix_len must be in (0, 32]")
+        self._subnet_of = subnet_of
+        self._shift = 32 - prefix_len
+        self.prefix_len = prefix_len
+        self._cells: Dict[tuple, List[int]] = {}  # (subnet, prefix) -> [bytes, flows]
+        self._rep_ip: Dict[int, int] = {}  # prefix -> lowest server ip seen
+        self.bytes_total = 0
+        self.flows_total = 0
+
+    def observe_window(self, window: StreamWindow) -> None:
+        """Fold one sealed window in."""
+        for record in window.records:
+            subnet = self._subnet_of(record.src_ip)
+            if subnet is None:
+                continue
+            prefix = record.dst_ip >> self._shift
+            cell = self._cells.setdefault((subnet, prefix), [0, 0])
+            cell[0] += record.num_bytes
+            cell[1] += 1
+            self.bytes_total += record.num_bytes
+            self.flows_total += 1
+            rep = self._rep_ip.get(prefix)
+            if rep is None or record.dst_ip < rep:
+                self._rep_ip[prefix] = record.dst_ip
+
+    def cells(self) -> List[tuple]:
+        """Sorted ``(subnet, prefix, num_bytes, num_flows)`` rows."""
+        return [
+            (subnet, prefix, totals[0], totals[1])
+            for (subnet, prefix), totals in sorted(self._cells.items())
+        ]
+
+    def prefixes(self) -> List[int]:
+        """Sorted distinct server prefixes seen."""
+        return sorted(self._rep_ip)
+
+    def representative_ip(self, prefix: int) -> int:
+        """The lowest server address observed inside one prefix.
+
+        Raises:
+            KeyError: For prefixes never seen.
+        """
+        return self._rep_ip[prefix]
